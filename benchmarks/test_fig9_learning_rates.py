@@ -1,0 +1,34 @@
+"""Figure 9: DN AUC under the inner lr (alpha) x outer lr (beta) grid.
+
+Paper shape: alpha must be small enough (their largest alpha=0.1 barely
+trains) and beta=1 — the degeneration of DN to Alternate Training — is
+worse than beta < 1.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import render_fig9, run_fig9
+
+
+def test_fig9_learning_rates(benchmark, results_dir):
+    grid = benchmark.pedantic(
+        lambda: run_fig9(scale=1.0, seeds=(0, 1)), rounds=1, iterations=1
+    )
+    text = render_fig9(grid)
+    emit(results_dir, "fig9", text)
+
+    betas = sorted({beta for _, beta in grid})
+    best = max(grid.values())
+
+    # Too-large alpha with no outer damping barely trains (paper: "the
+    # model is barely trained when alpha is too large").
+    assert grid[(0.3, 1.0)] < best - 0.03
+
+    # At the largest usable alpha, beta=1 (the Alternate Training
+    # degeneration) underperforms beta<1 — the paper's key beta finding.
+    assert max(grid[(0.1, b)] for b in betas if b < 1.0) > grid[(0.1, 1.0)]
+
+    # The optimum lives at a small alpha, where the Taylor analysis holds.
+    best_alpha = max(grid, key=grid.get)[0]
+    assert best_alpha <= 0.1

@@ -1,0 +1,29 @@
+"""Table II: per-domain statistics of Amazon-6."""
+
+from conftest import emit
+
+from repro.data import amazon6_sim, per_domain_stats_table
+
+# Paper Table II: (domain, share of samples, CTR ratio).
+PAPER_SHARES = {
+    "Musical Instruments": (0.0711, 0.22),
+    "Office Products": (0.2317, 0.23),
+    "Patio Lawn and Garden": (0.1787, 0.32),
+    "Prime Pantry": (0.0410, 0.23),
+    "Toys and Games": (0.3180, 0.47),
+    "Video Games": (0.1594, 0.21),
+}
+
+
+def test_table2_amazon6_stats(benchmark, results_dir):
+    dataset = benchmark.pedantic(amazon6_sim, rounds=1, iterations=1)
+    text = per_domain_stats_table(
+        dataset, title="Table II analogue: Amazon-6 per-domain statistics"
+    )
+    emit(results_dir, "table2", text)
+
+    total = sum(d.num_samples for d in dataset.domains)
+    for domain in dataset.domains:
+        share, ctr = PAPER_SHARES[domain.name]
+        assert abs(domain.num_samples / total - share) < 0.01
+        assert abs(domain.ctr_ratio - ctr) < 0.05

@@ -1,0 +1,25 @@
+"""Table VII: per-domain ablation results on Amazon-6.
+
+Paper shape: the full framework is strong in every domain; the sparse
+"Prime Pantry" domain suffers most when DR is removed.
+"""
+
+from conftest import emit
+
+from repro.experiments import render_table7, run_table7
+
+
+def test_table7_amazon6_domains(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_table7(scale=1.0, seeds=(0, 1, 2)), rounds=1, iterations=1
+    )
+    text = render_table7(result)
+    emit(results_dir, "table7", text)
+
+    full = result.reports["MLP+MAMDR (DN+DR)"].per_domain
+    baseline = result.reports["w/o DN+DR"].per_domain
+    assert set(full) == set(baseline)
+    # Averaged over the six domains, the full framework wins.
+    mean_full = sum(full.values()) / len(full)
+    mean_base = sum(baseline.values()) / len(baseline)
+    assert mean_full > mean_base

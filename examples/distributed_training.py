@@ -1,0 +1,49 @@
+"""Distributed MAMDR on the simulated PS-Worker cluster (Section IV-E).
+
+Spins up a 4-worker in-process cluster with the static/dynamic embedding
+cache, trains on an industry-style many-domain dataset, and prints the
+synchronization statistics the cache design is about: embedding-row pulls
+avoided by the dynamic cache, and rows synchronized vs table size.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro.core import TrainConfig
+from repro.data import amazon6_sim
+from repro.distributed import SimulatedCluster
+from repro.metrics import evaluate_bank
+from repro.models import build_model
+
+
+def main():
+    dataset = amazon6_sim(scale=1.0, seed=0)
+    config = TrainConfig(epochs=6)
+
+    cluster = SimulatedCluster(n_workers=4, mode="async")
+    print("Training MLP+MAMDR on a simulated 4-worker PS cluster ...")
+    bank = cluster.fit(
+        lambda worker_id: build_model("mlp", dataset, seed=0),
+        dataset, config, seed=0, use_dr=True,
+    )
+    report = evaluate_bank(bank, dataset, method="distributed MAMDR")
+    print(f"mean test AUC: {report.mean_auc:.4f}\n")
+
+    stats = cluster.stats()
+    print(f"parameter-server version (total pushes): {stats['ps_version']}")
+    print(f"embedding rows pulled from PS: {stats['ps_pulls']['embedding_rows']}")
+    print(f"embedding rows pushed to PS:   {stats['ps_pushes']['embedding_rows']}")
+    table_rows = dataset.n_users + dataset.n_items
+    pushed = stats["ps_pushes"]["embedding_rows"]
+    full_sync = table_rows * stats["ps_version"]
+    print(f"rows synchronized vs naive full-table sync: "
+          f"{pushed} / {full_sync} ({100 * pushed / full_sync:.1f}%)")
+    print("\nper-worker cache hit rates:")
+    for worker_id, tables in stats["workers"].items():
+        for table, cache_stats in tables.items():
+            print(f"  worker {worker_id} {table}: "
+                  f"hit rate {cache_stats['hit_rate']:.2f} "
+                  f"({cache_stats['hits']} hits / {cache_stats['misses']} misses)")
+
+
+if __name__ == "__main__":
+    main()

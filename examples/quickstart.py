@@ -1,0 +1,50 @@
+"""Quickstart: train MLP+MAMDR on a multi-domain benchmark.
+
+Builds the Amazon-6 analogue dataset, trains a plain MLP with the MAMDR
+learning framework (Domain Negotiation for the shared parameters + Domain
+Regularization for the per-domain deltas), and prints per-domain test AUC
+against a plain alternate-training baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import MAMDR, TrainConfig
+from repro.data import amazon6_sim
+from repro.frameworks import Alternate
+from repro.metrics import evaluate_bank
+from repro.models import build_model
+from repro.utils.tables import format_table
+
+
+def main():
+    print("Generating the Amazon-6 benchmark analogue ...")
+    dataset = amazon6_sim(scale=1.0, seed=0)
+    config = TrainConfig(epochs=8)
+
+    print("Training MLP with alternate training (baseline) ...")
+    baseline_model = build_model("mlp", dataset, seed=0)
+    baseline = evaluate_bank(
+        Alternate().fit(baseline_model, dataset, config, seed=0),
+        dataset, method="MLP (alternate)",
+    )
+
+    print("Training MLP with MAMDR (DN + DR) ...")
+    mamdr_model = build_model("mlp", dataset, seed=0)
+    mamdr = evaluate_bank(
+        MAMDR().fit(mamdr_model, dataset, config, seed=0),
+        dataset, method="MLP+MAMDR",
+    )
+
+    rows = [
+        [domain, baseline.per_domain[domain], mamdr.per_domain[domain]]
+        for domain in baseline.per_domain
+    ]
+    rows.append(["MEAN", baseline.mean_auc, mamdr.mean_auc])
+    print()
+    print(format_table(["Domain", "MLP (alternate)", "MLP+MAMDR"], rows,
+                       title="Per-domain test AUC"))
+    print(f"\nMAMDR lift: {mamdr.mean_auc - baseline.mean_auc:+.4f} mean AUC")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Sparse-domain rescue: what Domain Regularization buys you.
+
+Builds the Amazon-13 analogue — six data-rich domains plus seven very
+sparse ones (Table III) — and compares three ways of specializing per
+domain:
+
+* plain per-domain finetuning (overfits the sparse domains),
+* fully separate per-domain models (overfits even harder),
+* MAMDR, whose DR step regularizes each domain's specific parameters with
+  other domains' data (Algorithm 2).
+
+Run:  python examples/sparse_domains.py
+"""
+
+from repro.core import MAMDR, TrainConfig
+from repro.data import amazon13_sim
+from repro.frameworks import AlternateFinetune, Separate
+from repro.metrics import evaluate_bank
+from repro.models import build_model
+from repro.utils.tables import format_table
+
+SPARSE = {"Gift Cards", "Magazine Subscriptions", "Software", "Luxury Beauty"}
+
+
+def main():
+    dataset = amazon13_sim(scale=1.0, seed=1)
+    config = TrainConfig(epochs=6)
+
+    reports = {}
+    for name, framework in (
+        ("Finetune", AlternateFinetune()),
+        ("Separate", Separate()),
+        ("MAMDR", MAMDR()),
+    ):
+        print(f"Training {name} ...")
+        model = build_model("mlp", dataset, seed=1)
+        bank = framework.fit(model, dataset, config, seed=1)
+        reports[name] = evaluate_bank(bank, dataset, method=name)
+
+    def mean_over(domains, report):
+        values = [report.per_domain[d] for d in report.per_domain if
+                  (d in SPARSE) == domains]
+        return sum(values) / len(values)
+
+    rows = []
+    for name, report in reports.items():
+        rows.append([
+            name,
+            report.mean_auc,
+            mean_over(False, report),
+            mean_over(True, report),
+        ])
+    print()
+    print(format_table(
+        ["Method", "All domains", "Rich domains", "Sparse domains"],
+        rows, title="Mean test AUC on Amazon-13 (7 sparse domains)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables offline editable installs (no `wheel` available).
+
+Use: pip install -e . --no-build-isolation --no-use-pep517
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""``repro.analysis`` — gradient-conflict probes for Figure 3's phenomenon."""
+
+from .innergrad import alignment_objective, alignment_trajectory, mean_domain_loss
+from .conflict import (
+    conflict_rate,
+    conflict_report,
+    pairwise_cosines,
+    pairwise_inner_products,
+    per_domain_gradients,
+)
+
+__all__ = [
+    "per_domain_gradients",
+    "pairwise_inner_products",
+    "pairwise_cosines",
+    "conflict_rate",
+    "conflict_report",
+    "alignment_objective",
+    "alignment_trajectory",
+    "mean_domain_loss",
+]

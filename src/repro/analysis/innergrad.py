@@ -1,0 +1,67 @@
+"""Empirical verification of the DN theory (Section IV-C).
+
+The Taylor analysis shows that, in expectation over shuffled domain orders,
+one DN epoch descends ``Σ_i g_i`` *and* ascends the pairwise gradient
+inner-products ``Σ_{i<j} <g_i, g_j>`` (the InnerGrad term, Eqs. 18-21).
+These probes measure both quantities directly so experiments can check the
+theory on real training runs:
+
+* :func:`alignment_objective` — the paper's 𝒪_C (Eq. 9) at the current
+  parameters;
+* :func:`alignment_trajectory` — 𝒪_C and mean loss tracked across training
+  epochs for any framework-style update loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.selection import model_split_auc
+from ..core.trainer import compute_loss_gradient
+from ..data.batching import full_batch
+from .conflict import pairwise_inner_products, per_domain_gradients
+
+__all__ = ["alignment_objective", "mean_domain_loss", "alignment_trajectory"]
+
+
+def alignment_objective(model, dataset, rng, batch_size=512):
+    """𝒪_C = Σ_{i≠j} <g_i, g_j> at the current parameters (Eq. 9)."""
+    gradients = per_domain_gradients(model, dataset, rng, batch_size)
+    inner = pairwise_inner_products(gradients)
+    off_diagonal = ~np.eye(inner.shape[0], dtype=bool)
+    return float(inner[off_diagonal].sum())
+
+
+def mean_domain_loss(model, dataset, split="train"):
+    """Mean full-batch loss over domains (the 𝒪_M descent target)."""
+    total = 0.0
+    for domain in dataset:
+        batch = full_batch(getattr(domain, split), domain.index)
+        loss, _ = compute_loss_gradient(model, batch)
+        total += loss
+    return total / dataset.n_domains
+
+
+def alignment_trajectory(model, dataset, epoch_fn, epochs, rng,
+                         batch_size=512):
+    """Track loss / alignment / val AUC across training.
+
+    ``epoch_fn(epoch_index)`` performs one training epoch, mutating
+    ``model`` in place.  Returns a list of per-epoch records (the epoch-0
+    record describes the initialization).
+    """
+    records = []
+
+    def snapshot(epoch):
+        records.append({
+            "epoch": epoch,
+            "mean_loss": mean_domain_loss(model, dataset),
+            "alignment": alignment_objective(model, dataset, rng, batch_size),
+            "val_auc": model_split_auc(model, dataset),
+        })
+
+    snapshot(0)
+    for epoch in range(1, epochs + 1):
+        epoch_fn(epoch)
+        snapshot(epoch)
+    return records

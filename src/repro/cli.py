@@ -1,0 +1,123 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run table5 [--scale 1.0] [--seeds 0,1,2]
+    python -m repro.cli run fig9 --seeds 0
+    python -m repro.cli stats taobao30_sim
+
+Each ``run`` prints the same table the corresponding benchmark target
+emits, without pytest in the loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import experiments
+from .data import BENCHMARK_BUILDERS, dataset_by_name, per_domain_stats_table
+
+
+def _seeds(text):
+    return tuple(int(part) for part in text.split(",") if part != "")
+
+
+def _run_table5(args):
+    results = experiments.run_table5(scale=args.scale, seeds=args.seeds,
+                                     verbose=args.verbose)
+    print(experiments.render_table5(results))
+
+
+def _run_table6(args):
+    results = experiments.run_table6(scale=args.scale, seeds=args.seeds,
+                                     verbose=args.verbose)
+    print(experiments.render_table6(results))
+
+
+def _run_table7(args):
+    result = experiments.run_table7(scale=args.scale, seeds=args.seeds,
+                                    verbose=args.verbose)
+    print(experiments.render_table7(result))
+
+
+def _run_industry(args):
+    dataset, result = experiments.run_industry(seeds=args.seeds,
+                                               verbose=args.verbose)
+    print(experiments.render_table8(result))
+    print()
+    print(experiments.render_table9(dataset, result))
+
+
+def _run_table10(args):
+    results = experiments.run_table10(scale=args.scale, seeds=args.seeds,
+                                      verbose=args.verbose)
+    print(experiments.render_table10(results))
+
+
+def _run_fig8(args):
+    series = experiments.run_fig8(scale=args.scale, seeds=args.seeds,
+                                  verbose=args.verbose)
+    print(experiments.render_fig8(series))
+
+
+def _run_fig9(args):
+    grid = experiments.run_fig9(scale=args.scale, seeds=args.seeds,
+                                verbose=args.verbose)
+    print(experiments.render_fig9(grid))
+
+
+EXPERIMENT_RUNNERS = {
+    "table5": _run_table5,
+    "table6": _run_table6,
+    "table7": _run_table7,
+    "table8": _run_industry,
+    "table9": _run_industry,
+    "table10": _run_table10,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MAMDR reproduction harness"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiments and datasets")
+
+    run = commands.add_parser("run", help="regenerate one table/figure")
+    run.add_argument("experiment", choices=sorted(EXPERIMENT_RUNNERS))
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="dataset scale factor (default 1.0)")
+    run.add_argument("--seeds", type=_seeds, default=(0,),
+                     help="comma-separated seeds to average (default: 0)")
+    run.add_argument("--verbose", action="store_true")
+
+    stats = commands.add_parser("stats", help="print a dataset's statistics")
+    stats.add_argument("dataset", choices=sorted(BENCHMARK_BUILDERS))
+    stats.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("experiments:", ", ".join(sorted(EXPERIMENT_RUNNERS)))
+        print("datasets:   ", ", ".join(sorted(BENCHMARK_BUILDERS)))
+        return 0
+    if args.command == "stats":
+        if args.dataset == "taobao_online_sim":
+            dataset = dataset_by_name(args.dataset)
+        else:
+            dataset = dataset_by_name(args.dataset, scale=args.scale)
+        print(per_domain_stats_table(dataset))
+        return 0
+    EXPERIMENT_RUNNERS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

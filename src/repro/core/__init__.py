@@ -1,0 +1,48 @@
+"""``repro.core`` — the paper's contribution.
+
+Domain Negotiation (Algorithm 1), Domain Regularization (Algorithm 2) and
+the unified MAMDR framework (Algorithm 3), plus the shared/specific
+parameter space (Eq. 4) and the training configuration.
+"""
+
+from .config import TrainConfig
+from .mamdr import MAMDR
+from .onboarding import extend_bank, onboard_domain
+from .negotiation import DomainNegotiation, domain_negotiation_epoch
+from .param_space import DomainParameterSpace
+from .selection import (
+    BestTracker,
+    PerDomainTracker,
+    domain_split_auc,
+    finetune_with_selection,
+    model_split_auc,
+    space_split_auc,
+)
+from .regularization import (
+    DomainRegularization,
+    domain_regularization_round,
+    sample_helper_domains,
+)
+from .trainer import compute_loss_gradient, make_inner_optimizer, train_steps
+
+__all__ = [
+    "TrainConfig",
+    "MAMDR",
+    "onboard_domain",
+    "extend_bank",
+    "DomainNegotiation",
+    "domain_negotiation_epoch",
+    "DomainRegularization",
+    "domain_regularization_round",
+    "sample_helper_domains",
+    "DomainParameterSpace",
+    "BestTracker",
+    "PerDomainTracker",
+    "domain_split_auc",
+    "model_split_auc",
+    "space_split_auc",
+    "finetune_with_selection",
+    "train_steps",
+    "make_inner_optimizer",
+    "compute_loss_gradient",
+]

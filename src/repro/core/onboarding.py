@@ -1,0 +1,76 @@
+"""Onboarding a new domain at serving time.
+
+Section III-A: "A new domain can be easily added to the system by providing
+the corresponding users/items.  The system would automatically increase
+specific parameters for this new domain."  This module implements that
+path: given a trained shared state θ_S and a dataset now containing the new
+domain, it trains only the new domain's specific delta θ_new with Domain
+Regularization — no retraining of θ_S or the existing domains.
+"""
+
+from __future__ import annotations
+
+from ..frameworks.base import StateBank
+from ..nn.state import clone_state
+from ..utils.seeding import spawn_rng
+from .config import TrainConfig
+from .param_space import DomainParameterSpace
+from .regularization import domain_regularization_round
+from .selection import BestTracker, domain_split_auc
+
+__all__ = ["onboard_domain", "extend_bank"]
+
+
+def onboard_domain(model, dataset, shared_state, new_domain_index,
+                   config=None, seed=0):
+    """Train specific parameters for one new domain on a frozen θ_S.
+
+    Parameters
+    ----------
+    model:
+        A model skeleton compatible with ``shared_state`` (scratch space).
+    dataset:
+        The multi-domain dataset *including* the new domain — DR samples its
+        helper domains from the existing ones.
+    shared_state:
+        The trained shared parameters θ_S (e.g. ``bank.default_state``).
+    new_domain_index:
+        Index of the new domain within ``dataset``.
+
+    Returns the new domain's combined state ``Θ_new = θ_S + θ_new``, best
+    validation checkpoint across DR epochs.
+    """
+    config = config or TrainConfig()
+    rng = spawn_rng(seed, "onboard", dataset.name, new_domain_index)
+    new_domain = dataset.domain(new_domain_index)
+
+    space = DomainParameterSpace(model, dataset.n_domains)
+    space.set_shared(shared_state)
+
+    tracker = BestTracker()
+    model.load_state_dict(shared_state)
+    tracker.update(domain_split_auc(model, new_domain), clone_state(shared_state))
+
+    for _ in range(config.epochs):
+        delta = domain_regularization_round(
+            model, dataset, space, new_domain_index, config, rng
+        )
+        space.set_delta(new_domain_index, delta)
+        combined = space.combined(new_domain_index)
+        model.load_state_dict(combined)
+        tracker.update(domain_split_auc(model, new_domain), combined)
+
+    return tracker.best
+
+
+def extend_bank(bank, model, dataset, new_domain_index, config=None, seed=0):
+    """Return a new :class:`StateBank` with the onboarded domain added."""
+    if bank.default_state is None:
+        raise ValueError("bank has no shared default state to onboard from")
+    combined = onboard_domain(
+        model, dataset, bank.default_state, new_domain_index,
+        config=config, seed=seed,
+    )
+    states = dict(bank.domain_states)
+    states[new_domain_index] = combined
+    return StateBank(model, states, default_state=bank.default_state)

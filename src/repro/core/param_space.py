@@ -1,0 +1,70 @@
+"""Shared + domain-specific parameter composition (Eq. 4).
+
+MAMDR keeps one shared state ``θ_S`` and, per domain, an additive delta
+``θ_i`` initialized at zero, serving domain ``i`` with ``Θ_i = θ_S + θ_i``.
+Deltas (rather than absolute states) make the "specific parameters point
+from the shared solution toward the finetune endpoint" picture of Figure 4
+literal, and they are what the PS-Worker implementation ships around.
+"""
+
+from __future__ import annotations
+
+from ..nn.state import clone_state, state_add, state_sub, zeros_like_state
+
+__all__ = ["DomainParameterSpace"]
+
+
+class DomainParameterSpace:
+    """Holds θ_S and {θ_i} for a model skeleton.
+
+    The space is created from a model's current state; all entries of the
+    state participate in both the shared and the specific components, which
+    is exactly the paper's "copy Θ into the shared parameters θ_S and
+    specific parameters {θ_1 ... θ_n}" (Algorithm 3).
+    """
+
+    def __init__(self, model, n_domains):
+        if n_domains <= 0:
+            raise ValueError("need at least one domain")
+        self.n_domains = n_domains
+        self.shared = model.state_dict()
+        self.deltas = {
+            domain: zeros_like_state(self.shared) for domain in range(n_domains)
+        }
+
+    def combined(self, domain):
+        """``Θ_domain = θ_S + θ_domain`` (Eq. 4)."""
+        return state_add(self.shared, self._delta(domain))
+
+    def set_shared(self, state):
+        self.shared = clone_state(state)
+
+    def set_delta(self, domain, delta):
+        self.deltas[self._check(domain)] = clone_state(delta)
+
+    def delta(self, domain):
+        return self._delta(domain)
+
+    def load_shared(self, model):
+        """Load θ_S into the model (DN's working view)."""
+        model.load_state_dict(self.shared)
+
+    def load_combined(self, model, domain):
+        """Load Θ_domain into the model (DR's and serving's view)."""
+        model.load_state_dict(self.combined(domain))
+
+    def extract_delta(self, model, domain=None):
+        """Read the model's current state as a delta against θ_S."""
+        return state_sub(model.state_dict(), self.shared)
+
+    def all_combined(self):
+        """``{domain: Θ_domain}`` for deployment as a StateBank."""
+        return {d: self.combined(d) for d in range(self.n_domains)}
+
+    def _check(self, domain):
+        if domain not in self.deltas:
+            raise KeyError(f"unknown domain {domain}")
+        return domain
+
+    def _delta(self, domain):
+        return self.deltas[self._check(domain)]

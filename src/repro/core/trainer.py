@@ -1,0 +1,46 @@
+"""Low-level training helpers shared by all frameworks."""
+
+from __future__ import annotations
+
+from ..data.batching import iter_minibatches
+from ..nn.optim import make_optimizer
+
+__all__ = ["train_steps", "make_inner_optimizer", "compute_loss_gradient"]
+
+
+def train_steps(model, table, domain, optimizer, rng, batch_size, max_steps):
+    """Run up to ``max_steps`` minibatch updates of ``model`` on one domain.
+
+    Returns the mean training loss over the executed steps (0.0 when the
+    table is empty).
+    """
+    total, steps = 0.0, 0
+    for batch in iter_minibatches(table, domain, batch_size, rng=rng,
+                                  max_batches=max_steps):
+        loss = model.loss(batch)
+        model.zero_grad()
+        loss.backward()
+        optimizer.step()
+        total += loss.item()
+        steps += 1
+    return total / steps if steps else 0.0
+
+
+def make_inner_optimizer(model, config):
+    """Fresh inner-loop optimizer per the config (state starts clean)."""
+    return make_optimizer(
+        config.inner_optimizer, model.parameters(), config.inner_lr
+    )
+
+
+def compute_loss_gradient(model, batch):
+    """Gradient of the batch loss as ``{name: ndarray}`` (used by PCGrad,
+    Weighted Loss and the conflict probes)."""
+    loss = model.loss(batch)
+    model.zero_grad()
+    loss.backward()
+    grads = {}
+    for name, param in model.named_parameters():
+        if param.grad is not None:
+            grads[name] = param.grad.copy()
+    return loss.item(), grads

@@ -1,0 +1,68 @@
+"""Minibatch iteration over interaction tables.
+
+Training in MDR iterates *per-domain* batches (the paper optimizes each
+domain's loss on that domain's data), so a batch carries its domain index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Batch", "iter_minibatches", "full_batch"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A homogeneous-domain minibatch."""
+
+    users: np.ndarray
+    items: np.ndarray
+    labels: np.ndarray
+    domain: int
+
+    def __len__(self):
+        return len(self.users)
+
+
+def iter_minibatches(table, domain, batch_size, rng=None, max_batches=None):
+    """Yield :class:`Batch` slices of ``table``.
+
+    When ``rng`` is given, rows are shuffled first.  ``max_batches`` bounds
+    the pass (useful for the fixed-step inner loops of DN/DR).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    n = len(table)
+    order = rng.permutation(n) if rng is not None else np.arange(n)
+    produced = 0
+    for start in range(0, n, batch_size):
+        if max_batches is not None and produced >= max_batches:
+            return
+        index = order[start:start + batch_size]
+        yield Batch(
+            table.users[index], table.items[index], table.labels[index], domain
+        )
+        produced += 1
+
+
+def sample_batch(table, domain, batch_size, rng):
+    """One random minibatch (with replacement across calls, without within).
+
+    Used by frameworks that need simultaneous per-domain batches (PCGrad,
+    Weighted Loss, MAML, MLDG).
+    """
+    n = len(table)
+    if n == 0:
+        raise ValueError("cannot sample a batch from an empty table")
+    size = min(batch_size, n)
+    index = rng.choice(n, size=size, replace=False)
+    return Batch(
+        table.users[index], table.items[index], table.labels[index], domain
+    )
+
+
+def full_batch(table, domain):
+    """The whole table as one batch (used for evaluation)."""
+    return Batch(table.users, table.items, table.labels, domain)

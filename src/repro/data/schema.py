@@ -1,0 +1,174 @@
+"""Core data structures for multi-domain recommendation.
+
+Mirrors Definition III.1 of the paper: a dataset is a set of domains
+``D^i = {U^i, V^i, T^i}`` where ``T^i`` holds user-item interactions with
+binary click labels, and users/items may overlap across domains.  Tables are
+column-oriented numpy arrays for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["InteractionTable", "Domain", "MultiDomainDataset"]
+
+
+@dataclass(frozen=True)
+class InteractionTable:
+    """A column-oriented set of ``(user, item, label)`` interactions."""
+
+    users: np.ndarray
+    items: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self):
+        if not (len(self.users) == len(self.items) == len(self.labels)):
+            raise ValueError("users, items and labels must have equal length")
+
+    def __len__(self):
+        return len(self.users)
+
+    @property
+    def num_positive(self):
+        return int(self.labels.sum())
+
+    @property
+    def num_negative(self):
+        return len(self) - self.num_positive
+
+    @property
+    def ctr_ratio(self):
+        """#positive / #negative, the paper's Eq. 23 (inf if no negatives)."""
+        negatives = self.num_negative
+        if negatives == 0:
+            return float("inf")
+        return self.num_positive / negatives
+
+    def subset(self, indices):
+        """Select rows by index array."""
+        return InteractionTable(
+            self.users[indices], self.items[indices], self.labels[indices]
+        )
+
+    def shuffled(self, rng):
+        """Return a row-shuffled copy."""
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    @staticmethod
+    def concatenate(tables):
+        """Stack several tables into one."""
+        tables = list(tables)
+        if not tables:
+            return InteractionTable(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        return InteractionTable(
+            np.concatenate([t.users for t in tables]),
+            np.concatenate([t.items for t in tables]),
+            np.concatenate([t.labels for t in tables]),
+        )
+
+    @staticmethod
+    def from_pairs(positive_pairs, negative_pairs):
+        """Build a table from (user, item) pair arrays with implied labels."""
+        pos_u, pos_i = positive_pairs
+        neg_u, neg_i = negative_pairs
+        users = np.concatenate([pos_u, neg_u]).astype(np.int64)
+        items = np.concatenate([pos_i, neg_i]).astype(np.int64)
+        labels = np.concatenate(
+            [np.ones(len(pos_u)), np.zeros(len(neg_u))]
+        )
+        return InteractionTable(users, items, labels)
+
+
+@dataclass
+class Domain:
+    """One recommendation domain with its train/val/test interactions."""
+
+    name: str
+    index: int
+    train: InteractionTable
+    val: InteractionTable
+    test: InteractionTable
+    user_pool: np.ndarray = field(default=None)
+    item_pool: np.ndarray = field(default=None)
+
+    @property
+    def num_samples(self):
+        return len(self.train) + len(self.val) + len(self.test)
+
+    @property
+    def ctr_ratio(self):
+        total = InteractionTable.concatenate([self.train, self.val, self.test])
+        return total.ctr_ratio
+
+
+class MultiDomainDataset:
+    """A named collection of domains plus global feature storage.
+
+    ``user_features``/``item_features`` are fixed dense feature matrices
+    (the Taobao setting, where GraphSage features are frozen); when ``None``
+    the models learn embedding tables instead (the Amazon setting).
+    """
+
+    def __init__(self, name, domains, n_users, n_items,
+                 user_features=None, item_features=None):
+        self.name = name
+        self.domains = list(domains)
+        self.n_users = n_users
+        self.n_items = n_items
+        self.user_features = user_features
+        self.item_features = item_features
+        indices = [d.index for d in self.domains]
+        if indices != list(range(len(self.domains))):
+            raise ValueError("domain indices must be 0..n-1 in order")
+
+    @property
+    def n_domains(self):
+        return len(self.domains)
+
+    @property
+    def has_fixed_features(self):
+        return self.user_features is not None
+
+    @property
+    def feature_dims(self):
+        """(user_feature_dim, item_feature_dim) for fixed-feature datasets."""
+        if not self.has_fixed_features:
+            raise ValueError(f"dataset {self.name!r} has no fixed features")
+        return self.user_features.shape[1], self.item_features.shape[1]
+
+    def domain(self, index):
+        return self.domains[index]
+
+    def __iter__(self):
+        return iter(self.domains)
+
+    def __len__(self):
+        return len(self.domains)
+
+    def total_interactions(self, split="train"):
+        return sum(len(getattr(d, split)) for d in self.domains)
+
+    def domain_sizes(self, split="train"):
+        """Array of per-domain interaction counts."""
+        return np.array([len(getattr(d, split)) for d in self.domains])
+
+    def active_users(self):
+        """Number of distinct users appearing in any interaction."""
+        return len(np.unique(np.concatenate([
+            np.concatenate([d.train.users, d.val.users, d.test.users])
+            for d in self.domains
+        ])))
+
+    def active_items(self):
+        """Number of distinct items appearing in any interaction."""
+        return len(np.unique(np.concatenate([
+            np.concatenate([d.train.items, d.val.items, d.test.items])
+            for d in self.domains
+        ])))

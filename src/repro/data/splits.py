@@ -1,0 +1,48 @@
+"""Train/validation/test splitting of interaction tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+
+__all__ = ["split_table"]
+
+
+def split_table(table, rng, train_frac=0.7, val_frac=0.15):
+    """Randomly split a table into (train, val, test), stratified by label.
+
+    Fractions follow the paper's roughly 70/15/15 layout (Table I).
+    Stratification guarantees every split contains both classes (so AUC is
+    defined per split even for the sparsest domains); it needs at least 3
+    positives and 3 negatives.
+    """
+    if train_frac <= 0 or val_frac <= 0 or train_frac + val_frac >= 1.0:
+        raise ValueError("need 0 < train_frac, 0 < val_frac, sum < 1")
+    positives = np.flatnonzero(table.labels > 0.5)
+    negatives = np.flatnonzero(table.labels <= 0.5)
+    if len(positives) < 3 or len(negatives) < 3:
+        raise ValueError(
+            "stratified split needs >= 3 samples of each class, got "
+            f"{len(positives)} positives / {len(negatives)} negatives"
+        )
+
+    splits = [[], [], []]
+    for class_indices in (positives, negatives):
+        order = class_indices[rng.permutation(len(class_indices))]
+        n = len(order)
+        n_train = max(1, int(round(n * train_frac)))
+        n_val = max(1, int(round(n * val_frac)))
+        if n_train + n_val >= n:
+            n_train = n - 2
+            n_val = 1
+        splits[0].append(order[:n_train])
+        splits[1].append(order[n_train:n_train + n_val])
+        splits[2].append(order[n_train + n_val:])
+
+    result = []
+    for parts in splits:
+        index = np.concatenate(parts)
+        index = index[rng.permutation(len(index))]
+        result.append(table.subset(index))
+    return tuple(result)

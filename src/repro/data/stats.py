@@ -1,0 +1,50 @@
+"""Dataset statistics in the layout of the paper's Tables I-IV."""
+
+from __future__ import annotations
+
+from ..utils.tables import format_table
+
+__all__ = ["overall_stats_row", "overall_stats_table", "per_domain_stats_table"]
+
+
+def overall_stats_row(dataset):
+    """One row of Table I for a dataset."""
+    n_train = dataset.total_interactions("train")
+    n_val = dataset.total_interactions("val")
+    n_test = dataset.total_interactions("test")
+    total = n_train + n_val + n_test
+    return {
+        "Dataset": dataset.name,
+        "#Domain": dataset.n_domains,
+        "#User": dataset.active_users(),
+        "#Item": dataset.active_items(),
+        "#Train": n_train,
+        "#Val": n_val,
+        "#Test": n_test,
+        "Sample/Domain": total // dataset.n_domains,
+    }
+
+
+def overall_stats_table(datasets):
+    """Render Table I (overall statistics) for a list of datasets."""
+    rows = [list(overall_stats_row(d).values()) for d in datasets]
+    headers = list(overall_stats_row(datasets[0]).keys())
+    return format_table(headers, rows, title="Table I analogue: overall dataset statistics")
+
+
+def per_domain_stats_table(dataset, title=None):
+    """Render a Table II/III/IV-style per-domain statistics table."""
+    total = sum(d.num_samples for d in dataset.domains)
+    rows = []
+    for domain in dataset.domains:
+        rows.append([
+            domain.name,
+            domain.num_samples,
+            f"{100.0 * domain.num_samples / total:.2f}%",
+            f"{domain.ctr_ratio:.2f}",
+        ])
+    return format_table(
+        ["Domain", "#Samples", "Percentage", "CTR Ratio"],
+        rows,
+        title=title or f"Per-domain statistics: {dataset.name}",
+    )

@@ -1,0 +1,21 @@
+"""``repro.distributed`` — simulated PS-Worker implementation (Section IV-E).
+
+Parameter server with row-wise embedding access, the static/dynamic
+embedding cache, worker replicas, and a deterministic in-process cluster
+with sync and async scheduling.
+"""
+
+from .cache import EmbeddingCache
+from .cluster import SimulatedCluster, shard_domains
+from .ps import ParameterServer
+from .worker import Worker, embedding_field_map, embedding_parameter_names
+
+__all__ = [
+    "ParameterServer",
+    "EmbeddingCache",
+    "Worker",
+    "embedding_field_map",
+    "embedding_parameter_names",
+    "SimulatedCluster",
+    "shard_domains",
+]

@@ -1,0 +1,74 @@
+"""The embedding PS-Worker cache (Figure 7).
+
+Each worker keeps, per embedding table, a **static cache** (the value each
+row had when first pulled from the PS this epoch — the reference point Θ of
+Eq. 3) and a **dynamic cache** (the locally updated value Θ~).  During the
+inner loop, a required row is served from the dynamic cache when present;
+otherwise the *latest* value is pulled from the PS and recorded in both
+caches ("query the latest embedding from the PS on demand" — this is what
+bounds staleness).  At the end of the epoch the worker pushes
+``dynamic − static`` per touched row and clears both caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EmbeddingCache"]
+
+
+class EmbeddingCache:
+    """Static + dynamic row cache for one embedding table on one worker."""
+
+    def __init__(self, ps, table_name):
+        self._ps = ps
+        self.table_name = table_name
+        self._static = {}
+        self._dynamic = {}
+        self.hits = 0
+        self.misses = 0
+
+    def fetch(self, ids):
+        """Current row values for ``ids`` (dynamic-cache read-through)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        missing = [int(i) for i in np.unique(ids) if int(i) not in self._dynamic]
+        if missing:
+            rows = self._ps.pull_embedding_rows(self.table_name, missing)
+            for row_id, row in zip(missing, rows):
+                self._static[row_id] = row.copy()
+                self._dynamic[row_id] = row.copy()
+        self.misses += len(missing)
+        self.hits += len(ids) - len(missing)
+        return np.stack([self._dynamic[int(i)] for i in ids])
+
+    def update(self, ids, rows):
+        """Record locally updated rows in the dynamic cache."""
+        ids = np.asarray(ids, dtype=np.int64)
+        for row_id, row in zip(ids, rows):
+            key = int(row_id)
+            if key not in self._dynamic:
+                raise KeyError(
+                    f"row {key} updated before being fetched — the static "
+                    "reference would be undefined"
+                )
+            self._dynamic[key] = np.array(row, dtype=np.float64)
+
+    def deltas(self):
+        """``{row_id: dynamic − static}`` for every touched row."""
+        return {
+            row_id: self._dynamic[row_id] - self._static[row_id]
+            for row_id in self._dynamic
+        }
+
+    def touched_rows(self):
+        return sorted(self._dynamic)
+
+    def clear(self):
+        """Empty both caches (end of epoch)."""
+        self._static.clear()
+        self._dynamic.clear()
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

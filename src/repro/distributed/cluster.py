@@ -1,0 +1,133 @@
+"""Simulated PS-Worker cluster running distributed MAMDR (Section IV-E).
+
+``SimulatedCluster`` shards domains across workers, runs the DN inner loop
+on each worker with the embedding cache, and applies outer-loop deltas on
+the parameter server — all in-process and deterministic, so tests can
+compare against single-process training.
+
+Scheduling modes:
+
+* ``sync``  — every worker pulls the same PS version, then all deltas are
+  applied (classic bulk-synchronous data parallelism);
+* ``async`` — workers pull-push one after another within an epoch, so later
+  workers see earlier workers' updates (bounded staleness, closer to the
+  production deployment).
+"""
+
+from __future__ import annotations
+
+from ..core.param_space import DomainParameterSpace
+from ..core.regularization import domain_regularization_round
+from ..core.selection import BestTracker, PerDomainTracker, model_split_auc
+from ..frameworks.base import SingleModelBank, StateBank
+from ..utils.seeding import spawn_rng
+from .ps import ParameterServer
+from .worker import Worker, embedding_field_map, embedding_parameter_names
+
+__all__ = ["SimulatedCluster", "shard_domains"]
+
+
+def shard_domains(dataset, n_workers):
+    """Greedy balanced sharding: heaviest domains to the lightest worker."""
+    if n_workers <= 0:
+        raise ValueError("need at least one worker")
+    shards = [[] for _ in range(n_workers)]
+    loads = [0] * n_workers
+    by_size = sorted(dataset.domains, key=lambda d: -len(d.train))
+    for domain in by_size:
+        lightest = loads.index(min(loads))
+        shards[lightest].append(domain.index)
+        loads[lightest] += len(domain.train)
+    return shards
+
+
+class SimulatedCluster:
+    """Distributed MAMDR on a simulated PS-Worker cluster."""
+
+    def __init__(self, n_workers=4, mode="async", outer_optimizer=None):
+        if mode not in ("sync", "async"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.n_workers = n_workers
+        self.mode = mode
+        self.outer_optimizer = outer_optimizer
+        self.ps = None
+        self.workers = []
+
+    def fit(self, model_factory, dataset, config, seed=0, use_dr=False):
+        """Train on the cluster; returns a deployable model bank.
+
+        ``model_factory(worker_id) -> model`` builds one replica per worker
+        plus the driver's evaluation replica (worker_id ``"driver"``).  With
+        ``use_dr=True`` the driver additionally trains per-domain specific
+        deltas with DR on top of the PS shared state (full MAMDR).
+        """
+        rng = spawn_rng(seed, "cluster", dataset.name)
+        driver_model = model_factory("driver")
+        embedding_names = embedding_parameter_names(driver_model)
+        self.ps = ParameterServer(
+            driver_model.state_dict(),
+            embedding_names=embedding_names,
+            outer_lr=config.outer_lr,
+            outer_optimizer=self.outer_optimizer,
+        )
+        shards = shard_domains(dataset, self.n_workers)
+        field_map = embedding_field_map(driver_model) if embedding_names else {}
+        self.workers = [
+            Worker(i, model_factory(i), shard, self.ps, config,
+                   field_map=field_map)
+            for i, shard in enumerate(shards) if shard
+        ]
+
+        tracker = BestTracker()
+        for _ in range(config.epochs):
+            self._run_round(dataset, rng)
+            driver_model.load_state_dict(self.ps.full_state())
+            tracker.update(model_split_auc(driver_model, dataset),
+                           self.ps.full_state())
+
+        shared = tracker.best
+        driver_model.load_state_dict(shared)
+        if not use_dr:
+            return SingleModelBank(driver_model)
+
+        # Full MAMDR: DR for the specific deltas, run driver-side.
+        space = DomainParameterSpace(driver_model, dataset.n_domains)
+        space.set_shared(shared)
+        dr_tracker = PerDomainTracker(dataset.n_domains)
+        for _ in range(config.epochs):
+            for domain_index in range(dataset.n_domains):
+                delta = domain_regularization_round(
+                    driver_model, dataset, space, domain_index, config, rng
+                )
+                space.set_delta(domain_index, delta)
+            dr_tracker.update_from_space(driver_model, dataset, space)
+        return StateBank(driver_model, dr_tracker.best_states(),
+                         default_state=space.shared)
+
+    def _run_round(self, dataset, rng):
+        if self.mode == "async":
+            order = list(range(len(self.workers)))
+            rng.shuffle(order)
+            for index in order:
+                self.workers[index].run_epoch(dataset, rng)
+        else:
+            # Bulk-synchronous: everyone pulls the same snapshot; deltas are
+            # buffered on the PS and applied together at the round barrier.
+            self.ps.begin_sync_round()
+            for worker in self.workers:
+                worker.run_epoch(dataset, rng)
+            self.ps.end_sync_round()
+
+    def stats(self):
+        """Synchronization statistics across PS and workers."""
+        if self.ps is None:
+            raise RuntimeError("fit() has not been run")
+        return {
+            "ps_version": self.ps.version,
+            "ps_pulls": dict(self.ps.pull_counts),
+            "ps_pushes": dict(self.ps.push_counts),
+            "workers": {
+                worker.worker_id: worker.cache_stats()
+                for worker in self.workers
+            },
+        }

@@ -1,0 +1,153 @@
+"""Parameter server (Section IV-E).
+
+Stores the authoritative model state.  Dense parameters are pulled/pushed
+as whole tensors; embedding parameters are accessed *row-wise* so workers
+only synchronize the rows their batches touched — the observation the
+paper's embedding PS-Worker cache is built on.
+
+The outer update follows Eq. 3: the server receives a worker's delta
+``Θ~ − Θ`` and applies it either by plain interpolation (``Θ += β·Δ``) or
+through a dedicated server-side optimizer (the industry deployment uses
+Adagrad with a dynamic learning rate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.optim import make_optimizer
+from ..nn.module import Parameter
+
+__all__ = ["ParameterServer"]
+
+
+class ParameterServer:
+    """In-process simulation of the PS role.
+
+    Parameters
+    ----------
+    state:
+        Initial full model state (``{name: ndarray}``).
+    embedding_names:
+        Names of parameters to treat as row-wise embedding tables.
+    outer_lr:
+        β of Eq. 3.
+    outer_optimizer:
+        ``None`` for plain interpolation, or an optimizer name ("adagrad",
+        "adam", "sgd") applied to the negated delta as a gradient.
+    """
+
+    def __init__(self, state, embedding_names=(), outer_lr=0.5,
+                 outer_optimizer=None):
+        self._state = {name: value.copy() for name, value in state.items()}
+        self.embedding_names = frozenset(embedding_names)
+        unknown = self.embedding_names - set(self._state)
+        if unknown:
+            raise KeyError(f"embedding names not in state: {sorted(unknown)}")
+        self.outer_lr = outer_lr
+        self.version = 0
+        self.pull_counts = {"dense": 0, "embedding_rows": 0}
+        self.push_counts = {"dense": 0, "embedding_rows": 0}
+        self._snapshot = None
+        self._buffered = []
+        self._optimizer = None
+        if outer_optimizer is not None:
+            self._params = {
+                name: Parameter(value) for name, value in self._state.items()
+            }
+            self._optimizer = make_optimizer(
+                outer_optimizer, self._params.values(), outer_lr
+            )
+
+    # ------------------------------------------------------------------
+    # Pulls
+    # ------------------------------------------------------------------
+    def pull_dense(self):
+        """All non-embedding parameters (copies)."""
+        self.pull_counts["dense"] += 1
+        source = self._snapshot if self._snapshot is not None else self._state
+        return {
+            name: value.copy()
+            for name, value in source.items()
+            if name not in self.embedding_names
+        }
+
+    def pull_embedding_rows(self, name, ids):
+        """Rows ``ids`` of embedding table ``name`` (copies)."""
+        if name not in self.embedding_names:
+            raise KeyError(f"{name!r} is not an embedding table")
+        ids = np.asarray(ids, dtype=np.int64)
+        self.pull_counts["embedding_rows"] += len(ids)
+        source = self._snapshot if self._snapshot is not None else self._state
+        return source[name][ids].copy()
+
+    def full_state(self):
+        """The complete authoritative state (for deployment/evaluation)."""
+        return {name: value.copy() for name, value in self._state.items()}
+
+    # ------------------------------------------------------------------
+    # Pushes
+    # ------------------------------------------------------------------
+    def begin_sync_round(self):
+        """Freeze a snapshot: pulls serve it, pushes buffer until the end.
+
+        This is bulk-synchronous semantics; without it (the default) the
+        server is asynchronous — pulls see the latest state immediately.
+        """
+        if self._snapshot is not None:
+            raise RuntimeError("sync round already in progress")
+        self._snapshot = {name: value.copy() for name, value in self._state.items()}
+
+    def end_sync_round(self):
+        """Apply all buffered deltas and unfreeze."""
+        if self._snapshot is None:
+            raise RuntimeError("no sync round in progress")
+        self._snapshot = None
+        buffered, self._buffered = self._buffered, []
+        for dense_delta, embedding_deltas in buffered:
+            self._apply(dense_delta, embedding_deltas)
+
+    def push_delta(self, dense_delta, embedding_deltas):
+        """Apply (or buffer, during a sync round) a worker's delta (Eq. 3).
+
+        ``dense_delta``: ``{name: ndarray}``;
+        ``embedding_deltas``: ``{name: {row_id: vector}}``.
+        """
+        self.push_counts["dense"] += len(dense_delta)
+        self.push_counts["embedding_rows"] += sum(
+            len(rows) for rows in embedding_deltas.values()
+        )
+        if self._snapshot is not None:
+            self._buffered.append((dense_delta, embedding_deltas))
+            return
+        self._apply(dense_delta, embedding_deltas)
+
+    def _apply(self, dense_delta, embedding_deltas):
+        if self._optimizer is not None:
+            self._apply_with_optimizer(dense_delta, embedding_deltas)
+        else:
+            self._apply_interpolation(dense_delta, embedding_deltas)
+        self.version += 1
+
+    def _apply_interpolation(self, dense_delta, embedding_deltas):
+        for name, delta in dense_delta.items():
+            self._state[name] = self._state[name] + self.outer_lr * delta
+        for name, rows in embedding_deltas.items():
+            table = self._state[name]
+            for row_id, delta in rows.items():
+                table[row_id] = table[row_id] + self.outer_lr * delta
+
+    def _apply_with_optimizer(self, dense_delta, embedding_deltas):
+        # Treat -delta as the gradient, as the industry deployment does.
+        for name, param in self._params.items():
+            param.grad = None
+        for name, delta in dense_delta.items():
+            self._params[name].grad = -delta
+        for name, rows in embedding_deltas.items():
+            grad = np.zeros_like(self._state[name])
+            for row_id, delta in rows.items():
+                grad[row_id] = -delta
+            self._params[name].grad = grad
+        self._optimizer.step()
+        for name, param in self._params.items():
+            self._state[name] = param.data

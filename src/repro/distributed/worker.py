@@ -1,0 +1,134 @@
+"""Worker role of the PS-Worker architecture (Figure 6).
+
+Each worker owns a shard of domains, its own model replica and inner-loop
+optimizer.  Per epoch it (2) pulls dense parameters from the PS, (3) runs
+the MAMDR/DN inner loop on its shard — fetching embedding rows through the
+static/dynamic cache on demand — and (4) pushes the outer-loop delta
+``Θ~ − Θ`` back to the PS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import iter_minibatches
+from ..nn.layers import Embedding
+from ..nn.optim import make_optimizer
+from .cache import EmbeddingCache
+
+__all__ = ["Worker", "embedding_parameter_names", "embedding_field_map"]
+
+
+def embedding_parameter_names(model):
+    """Dotted names of all embedding-table weights in a model."""
+    names = []
+    for module_name, module in model.named_modules():
+        if isinstance(module, Embedding):
+            prefix = module_name + "." if module_name else ""
+            names.append(prefix + "weight")
+    return names
+
+
+def embedding_field_map(model):
+    """Map embedding weight names to the batch field that indexes them.
+
+    The convention is structural: embedding modules whose name mentions
+    ``user`` are indexed by ``batch.users``, ``item`` by ``batch.items``.
+    """
+    mapping = {}
+    for name in embedding_parameter_names(model):
+        if "user" in name:
+            mapping[name] = "users"
+        elif "item" in name:
+            mapping[name] = "items"
+        else:
+            raise ValueError(
+                f"cannot infer batch field for embedding {name!r}; "
+                "pass an explicit field map"
+            )
+    return mapping
+
+
+class Worker:
+    """One simulated worker machine."""
+
+    def __init__(self, worker_id, model, domain_indices, ps, config,
+                 field_map=None):
+        self.worker_id = worker_id
+        self.model = model
+        self.domain_indices = list(domain_indices)
+        self.ps = ps
+        self.config = config
+        self.field_map = (
+            field_map if field_map is not None else embedding_field_map(model)
+        )
+        unknown = set(self.field_map) - set(ps.embedding_names)
+        if unknown:
+            raise KeyError(
+                f"field map references non-embedding tables: {sorted(unknown)}"
+            )
+        self.caches = {
+            name: EmbeddingCache(ps, name) for name in self.field_map
+        }
+        self.optimizer = make_optimizer(
+            config.inner_optimizer, model.parameters(), config.inner_lr
+        )
+        self._named = dict(model.named_parameters())
+
+    def run_epoch(self, dataset, rng):
+        """One inner loop over this worker's shard; pushes the delta."""
+        static_dense = self.ps.pull_dense()
+        for name, value in static_dense.items():
+            self._named[name].data = value.copy()
+
+        order = list(self.domain_indices)
+        rng.shuffle(order)
+        for domain_index in order:
+            domain = dataset.domain(domain_index)
+            for batch in iter_minibatches(
+                domain.train, domain_index, self.config.batch_size,
+                rng=rng, max_batches=self.config.inner_steps,
+            ):
+                self._train_batch(batch)
+
+        dense_delta = {
+            name: self._named[name].data - static_dense[name]
+            for name in static_dense
+        }
+        embedding_deltas = {
+            name: cache.deltas() for name, cache in self.caches.items()
+        }
+        self.ps.push_delta(dense_delta, embedding_deltas)
+        for cache in self.caches.values():
+            cache.clear()
+
+    def _train_batch(self, batch):
+        touched = self._materialize_rows(batch)
+        loss = self.model.loss(batch)
+        self.model.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        self._writeback_rows(touched)
+        return loss.item()
+
+    def _materialize_rows(self, batch):
+        """Fetch the embedding rows this batch touches into the model."""
+        touched = {}
+        for name, field in self.field_map.items():
+            ids = np.unique(getattr(batch, field))
+            rows = self.caches[name].fetch(ids)
+            self._named[name].data[ids] = rows
+            touched[name] = ids
+        return touched
+
+    def _writeback_rows(self, touched):
+        """Record updated rows into the dynamic cache."""
+        for name, ids in touched.items():
+            self.caches[name].update(ids, self._named[name].data[ids])
+
+    def cache_stats(self):
+        return {
+            name: {"hits": cache.hits, "misses": cache.misses,
+                   "hit_rate": cache.hit_rate}
+            for name, cache in self.caches.items()
+        }

@@ -1,0 +1,77 @@
+"""``repro.experiments`` — the table/figure regeneration harness.
+
+One module per artifact of the paper's evaluation section; the
+``benchmarks/`` pytest targets call these and print the rendered tables.
+"""
+
+from .figures import (
+    FIG8_SAMPLE_NUMBERS,
+    FIG9_INNER_LRS,
+    FIG9_OUTER_LRS,
+    render_fig8,
+    render_fig9,
+    run_fig8,
+    run_fig9,
+)
+from .industry import (
+    INDUSTRY_METHODS,
+    render_table8,
+    render_table9,
+    run_industry,
+)
+from .runner import (
+    ComparisonResult,
+    MethodSpec,
+    run_comparison,
+    run_comparison_averaged,
+    run_method,
+)
+from .table5 import TABLE5_DATASETS, TABLE5_METHODS, render_table5, run_table5
+from .table6 import (
+    ABLATION_METHODS,
+    render_table6,
+    render_table7,
+    run_table6,
+    run_table7,
+)
+from .tuning import GridSearchResult, grid_search
+from .table10 import (
+    TABLE10_FRAMEWORKS,
+    TABLE10_MODELS,
+    render_table10,
+    run_table10,
+)
+
+__all__ = [
+    "MethodSpec",
+    "ComparisonResult",
+    "run_method",
+    "run_comparison",
+    "run_comparison_averaged",
+    "grid_search",
+    "GridSearchResult",
+    "TABLE5_METHODS",
+    "TABLE5_DATASETS",
+    "run_table5",
+    "render_table5",
+    "ABLATION_METHODS",
+    "run_table6",
+    "render_table6",
+    "run_table7",
+    "render_table7",
+    "INDUSTRY_METHODS",
+    "run_industry",
+    "render_table8",
+    "render_table9",
+    "TABLE10_FRAMEWORKS",
+    "TABLE10_MODELS",
+    "run_table10",
+    "render_table10",
+    "FIG8_SAMPLE_NUMBERS",
+    "FIG9_INNER_LRS",
+    "FIG9_OUTER_LRS",
+    "run_fig8",
+    "render_fig8",
+    "run_fig9",
+    "render_fig9",
+]

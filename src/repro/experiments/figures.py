@@ -1,0 +1,97 @@
+"""Figures 8 and 9: hyper-parameter sensitivity of MAMDR.
+
+* Figure 8: average AUC of MLP+MAMDR vs the DR sample number ``k`` on
+  Taobao-30 — the paper observes a rise-then-drop with a peak around k=5
+  and degradation once θ_i deviates too far from θ_S.
+* Figure 9: average AUC of MLP+DN under a grid of inner learning rates α
+  and outer learning rates β on Taobao-10 — the paper observes that α must
+  be small enough for the Taylor analysis to hold, and that β = 1
+  (degeneration to Alternate Training) underperforms β < 1.
+"""
+
+from __future__ import annotations
+
+from ..core import TrainConfig
+from ..data import benchmarks
+from ..utils.tables import format_table
+from .runner import MethodSpec, run_method
+
+__all__ = [
+    "FIG8_SAMPLE_NUMBERS",
+    "FIG9_INNER_LRS",
+    "FIG9_OUTER_LRS",
+    "run_fig8",
+    "render_fig8",
+    "run_fig9",
+    "render_fig9",
+]
+
+FIG8_SAMPLE_NUMBERS = (0, 1, 3, 5, 7, 10)
+# The paper sweeps alpha in {1e-1, 1e-2, 1e-3} around its optimum of 1e-3;
+# our scaled-down datasets have an optimum near 1e-2, so the analogous grid
+# spans one decade above and below it plus a clearly-too-large value.
+FIG9_INNER_LRS = (3e-1, 1e-1, 1e-2, 1e-3)
+FIG9_OUTER_LRS = (1.0, 0.5, 0.1)
+
+
+def run_fig8(scale=1.0, seeds=(0,), config=None,
+             sample_numbers=FIG8_SAMPLE_NUMBERS, verbose=False):
+    """AUC of MLP+MAMDR as a function of the DR sample number k
+    (seed-averaged)."""
+    base = config or TrainConfig()
+    series = {}
+    for k in sample_numbers:
+        aucs = []
+        for seed in seeds:
+            dataset = benchmarks.taobao30_sim(scale=scale, seed=seed)
+            spec = MethodSpec(f"k={k}", model="mlp", framework="mamdr",
+                              config_overrides={"sample_k": k})
+            aucs.append(run_method(spec, dataset, config=base, seed=seed).mean_auc)
+        series[k] = sum(aucs) / len(aucs)
+        if verbose:
+            print(f"[fig8] k={k}: AUC={series[k]:.4f}")
+    return series
+
+
+def render_fig8(series):
+    rows = [[f"k={k}", auc] for k, auc in series.items()]
+    return format_table(
+        ["Sample number", "AUC"], rows,
+        title="Figure 8 analogue: MAMDR AUC vs DR sample number k (Taobao-30)",
+    )
+
+
+def run_fig9(scale=1.0, seeds=(0,), config=None, inner_lrs=FIG9_INNER_LRS,
+             outer_lrs=FIG9_OUTER_LRS, verbose=False):
+    """AUC of MLP+DN under an (α, β) grid; returns ``{(α, β): auc}``
+    (seed-averaged)."""
+    base = config or TrainConfig()
+    grid = {}
+    for alpha in inner_lrs:
+        for beta in outer_lrs:
+            aucs = []
+            for seed in seeds:
+                dataset = benchmarks.taobao10_sim(scale=scale, seed=seed)
+                spec = MethodSpec(
+                    f"a={alpha:g},b={beta:g}", model="mlp", framework="dn",
+                    config_overrides={"inner_lr": alpha, "outer_lr": beta},
+                )
+                aucs.append(run_method(spec, dataset, config=base, seed=seed).mean_auc)
+            grid[(alpha, beta)] = sum(aucs) / len(aucs)
+            if verbose:
+                print(f"[fig9] alpha={alpha:g} beta={beta:g}: "
+                      f"AUC={grid[(alpha, beta)]:.4f}")
+    return grid
+
+
+def render_fig9(grid):
+    alphas = sorted({alpha for alpha, _ in grid}, reverse=True)
+    betas = sorted({beta for _, beta in grid}, reverse=True)
+    headers = ["alpha \\ beta"] + [f"{beta:g}" for beta in betas]
+    rows = []
+    for alpha in alphas:
+        rows.append([f"{alpha:g}"] + [grid[(alpha, beta)] for beta in betas])
+    return format_table(
+        headers, rows,
+        title="Figure 9 analogue: DN AUC vs inner lr alpha x outer lr beta (Taobao-10)",
+    )

@@ -1,0 +1,69 @@
+"""Table X: learning frameworks x model structures on Taobao-10.
+
+Ten model-agnostic learning frameworks (Alternate, Alternate+Finetune,
+Weighted Loss, PCGrad, MAML, Reptile, MLDG, DN, DR, MAMDR) applied to six
+model structures (MLP, WDL, NeurFM, DeepFM, Shared-bottom, Star).
+"""
+
+from __future__ import annotations
+
+from ..data import benchmarks
+from ..utils.tables import format_table
+from .runner import MethodSpec, run_comparison_averaged
+
+__all__ = [
+    "TABLE10_FRAMEWORKS",
+    "TABLE10_MODELS",
+    "run_table10",
+    "render_table10",
+]
+
+TABLE10_FRAMEWORKS = (
+    ("Alternate", "alternate"),
+    ("Alternate+Finetune", "alternate_finetune"),
+    ("Weighted Loss", "weighted_loss"),
+    ("PCGrad", "pcgrad"),
+    ("MAML", "maml"),
+    ("Reptile", "reptile"),
+    ("MLDG", "mldg"),
+    ("DN", "dn"),
+    ("DR", "dr"),
+    ("MAMDR (DN+DR)", "mamdr"),
+)
+
+TABLE10_MODELS = ("mlp", "wdl", "neurfm", "deepfm", "shared_bottom", "star")
+
+
+def run_table10(scale=1.0, seeds=(0,), config=None, models=TABLE10_MODELS,
+                frameworks=TABLE10_FRAMEWORKS, verbose=False):
+    """Run every (model, framework) pair; returns ``{model: ComparisonResult}``."""
+    results = {}
+    for model_name in models:
+        specs = [
+            MethodSpec(framework_label, model=model_name,
+                       framework=framework_name)
+            for framework_label, framework_name in frameworks
+        ]
+        if verbose:
+            print(f"[table10] model={model_name}")
+        results[model_name] = run_comparison_averaged(
+            specs,
+            lambda seed: benchmarks.taobao10_sim(scale=scale, seed=seed),
+            seeds, config=config, verbose=verbose,
+        )
+    return results
+
+
+def render_table10(results):
+    models = list(results)
+    framework_names = list(next(iter(results.values())).reports)
+    headers = ["Framework"] + list(models)
+    rows = []
+    for framework in framework_names:
+        rows.append(
+            [framework] + [results[m].mean_auc[framework] for m in models]
+        )
+    return format_table(
+        headers, rows,
+        title="Table X analogue: learning frameworks x model structures (Taobao-10)",
+    )

@@ -1,0 +1,82 @@
+"""Table VI (ablation of DN and DR) and Table VII (per-domain Amazon-6).
+
+Four variants of MLP+MAMDR: the full framework, without DN (alternate
+shared training + DR), without DR (DN only, no specific parameters) and
+without both (plain alternate training).
+"""
+
+from __future__ import annotations
+
+from ..data import benchmarks
+from ..utils.tables import format_table
+from .runner import MethodSpec, run_comparison_averaged
+from .table5 import TABLE5_DATASETS
+
+__all__ = [
+    "ABLATION_METHODS",
+    "run_table6",
+    "render_table6",
+    "run_table7",
+    "render_table7",
+]
+
+ABLATION_METHODS = (
+    MethodSpec("MLP+MAMDR (DN+DR)", model="mlp", framework="mamdr"),
+    MethodSpec("w/o DN", model="mlp", framework="mamdr",
+               framework_kwargs={"use_dn": False}),
+    MethodSpec("w/o DR", model="mlp", framework="mamdr",
+               framework_kwargs={"use_dr": False}),
+    MethodSpec("w/o DN+DR", model="mlp", framework="alternate"),
+)
+
+
+def run_table6(scale=1.0, seeds=(0,), config=None, datasets=TABLE5_DATASETS,
+               verbose=False):
+    """Ablation over all benchmark datasets (seed-averaged)."""
+    results = {}
+    for name in datasets:
+        if verbose:
+            print(f"[table6] {name}")
+        results[name] = run_comparison_averaged(
+            ABLATION_METHODS,
+            lambda seed, name=name: benchmarks.dataset_by_name(
+                name, scale=scale, seed=seed
+            ),
+            seeds, config=config, verbose=verbose,
+        )
+    return results
+
+
+def render_table6(results):
+    datasets = list(results)
+    headers = ["Method"] + [
+        f"{name.replace('_sim', '')} AUC" for name in datasets
+    ]
+    method_names = list(next(iter(results.values())).reports)
+    rows = []
+    for method in method_names:
+        row = [method] + [results[name].mean_auc[method] for name in datasets]
+        rows.append(row)
+    return format_table(headers, rows, title="Table VI analogue: DN/DR ablation")
+
+
+def run_table7(scale=1.0, seeds=(0,), config=None, verbose=False):
+    """Per-domain ablation results on Amazon-6 (the paper's Table VII)."""
+    return run_comparison_averaged(
+        ABLATION_METHODS,
+        lambda seed: benchmarks.amazon6_sim(scale=scale, seed=seed),
+        seeds, config=config, verbose=verbose,
+    )
+
+
+def render_table7(result):
+    method_names = list(result.reports)
+    domains = list(next(iter(result.reports.values())).per_domain)
+    headers = ["Method"] + domains
+    rows = []
+    for method in method_names:
+        per_domain = result.reports[method].per_domain
+        rows.append([method] + [per_domain[d] for d in domains])
+    return format_table(
+        headers, rows, title="Table VII analogue: per-domain AUC on Amazon-6"
+    )

@@ -1,0 +1,78 @@
+"""``repro.frameworks`` — model-agnostic learning frameworks.
+
+The baselines of Table X (Alternate, Alternate+Finetune, Weighted Loss,
+PCGrad, MAML, Reptile, MLDG) plus the deployment bank abstractions.  The
+paper's own frameworks (DN, DR, MAMDR) live in :mod:`repro.core` and are
+re-exported by :func:`framework_by_name` for experiment code.
+"""
+
+from __future__ import annotations
+
+from .alternate import Alternate, AlternateFinetune, Separate
+from .base import DomainModelBank, LearningFramework, SingleModelBank, StateBank
+from .maml import MAML, support_query_split
+from .mldg import MLDG
+from .pcgrad import PCGrad, project_conflicts
+from .reptile import Reptile
+from .weighted_loss import WeightedLoss
+
+__all__ = [
+    "DomainModelBank",
+    "SingleModelBank",
+    "StateBank",
+    "LearningFramework",
+    "Alternate",
+    "AlternateFinetune",
+    "Separate",
+    "WeightedLoss",
+    "PCGrad",
+    "project_conflicts",
+    "MAML",
+    "support_query_split",
+    "Reptile",
+    "MLDG",
+    "framework_by_name",
+    "available_frameworks",
+]
+
+
+def _core():
+    # Imported lazily to avoid a circular import (core depends on
+    # frameworks.base for the bank classes).
+    from ..core import MAMDR, DomainNegotiation, DomainRegularization
+
+    return MAMDR, DomainNegotiation, DomainRegularization
+
+
+def _builders():
+    MAMDR, DomainNegotiation, DomainRegularization = _core()
+    return {
+        "alternate": Alternate,
+        "alternate_finetune": AlternateFinetune,
+        "separate": Separate,
+        "weighted_loss": WeightedLoss,
+        "pcgrad": PCGrad,
+        "maml": MAML,
+        "reptile": Reptile,
+        "mldg": MLDG,
+        "dn": DomainNegotiation,
+        "dr": DomainRegularization,
+        "mamdr": MAMDR,
+    }
+
+
+def framework_by_name(name, **kwargs):
+    """Instantiate a learning framework by registry name."""
+    builders = _builders()
+    try:
+        cls = builders[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown framework {name!r}; expected one of {sorted(builders)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available_frameworks():
+    """Names accepted by :func:`framework_by_name`."""
+    return sorted(_builders())

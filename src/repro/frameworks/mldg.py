@@ -1,0 +1,87 @@
+"""MLDG (Li et al., AAAI 2018): meta-learning for domain generalization.
+
+Each meta-step splits the domains into meta-train and meta-test sets,
+takes a virtual gradient step on the meta-train loss, and adds the
+meta-test gradient evaluated *after* that virtual step (first-order
+approximation of the MLDG objective ``L_train(θ) + β L_test(θ − α∇L_train)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.selection import BestTracker, model_split_auc
+from ..core.trainer import compute_loss_gradient
+from ..data.batching import sample_batch
+from ..nn.optim import make_optimizer
+from ..nn.state import state_add
+from ..utils.seeding import spawn_rng
+from .base import LearningFramework, SingleModelBank
+
+__all__ = ["MLDG"]
+
+
+class MLDG(LearningFramework):
+    """Meta-Learning Domain Generalization, first-order variant."""
+
+    name = "MLDG"
+
+    def __init__(self, meta_test_weight=1.0, n_meta_test=1):
+        self.meta_test_weight = meta_test_weight
+        self.n_meta_test = n_meta_test
+
+    def fit(self, model, dataset, config, seed=0):
+        if dataset.n_domains < 2:
+            raise ValueError("MLDG needs at least 2 domains")
+        rng = spawn_rng(seed, "mldg", dataset.name)
+        optimizer = make_optimizer(
+            config.inner_optimizer, model.parameters(), config.inner_lr
+        )
+        named = dict(model.named_parameters())
+
+        tracker = BestTracker()
+        steps_per_epoch = config.joint_steps_per_epoch(dataset)
+        for _ in range(config.epochs):
+            for _ in range(steps_per_epoch):
+                indices = rng.permutation(dataset.n_domains)
+                meta_test = indices[:self.n_meta_test]
+                meta_train = indices[self.n_meta_test:]
+
+                train_grad = self._mean_gradient(model, dataset, meta_train,
+                                                 config, rng)
+                # Virtual step θ' = θ − α ∇L_train(θ).
+                origin = model.state_dict()
+                model.load_state_dict(
+                    state_add(origin, train_grad, scale=-config.inner_lr)
+                )
+                test_grad = self._mean_gradient(model, dataset, meta_test,
+                                                config, rng)
+                model.load_state_dict(origin)
+
+                model.zero_grad()
+                for name, param in named.items():
+                    param.grad = (
+                        train_grad[name]
+                        + self.meta_test_weight * test_grad[name]
+                    )
+                optimizer.step()
+            tracker.update(model_split_auc(model, dataset), model.state_dict())
+
+        model.load_state_dict(tracker.best)
+        return SingleModelBank(model)
+
+    def _mean_gradient(self, model, dataset, domain_indices, config, rng):
+        total = None
+        for index in domain_indices:
+            domain = dataset.domain(int(index))
+            batch = sample_batch(domain.train, domain.index, config.batch_size, rng)
+            _, grads = compute_loss_gradient(model, batch)
+            full = {
+                name: grads.get(name, np.zeros_like(param.data))
+                for name, param in model.named_parameters()
+            }
+            total = full if total is None else {
+                name: total[name] + full[name] for name in total
+            }
+        count = max(len(list(domain_indices)), 1)
+        return {name: value / count for name, value in total.items()}

@@ -1,0 +1,94 @@
+"""PCGrad (Yu et al., NeurIPS 2020) applied to multi-domain training.
+
+When two domains' gradients conflict (negative inner product), each is
+projected onto the normal plane of the other before averaging.  This
+removes the destructive component but costs ``O(n^2)`` pairwise projections
+per step — the scalability ceiling the paper contrasts DN against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.selection import BestTracker, model_split_auc
+from ..core.trainer import compute_loss_gradient
+from ..data.batching import sample_batch
+from ..nn.optim import make_optimizer
+from ..utils.seeding import spawn_rng
+from .base import LearningFramework, SingleModelBank
+
+__all__ = ["PCGrad", "project_conflicts"]
+
+
+def project_conflicts(gradients, rng):
+    """Apply PCGrad projection to a list of per-domain gradient states.
+
+    For every gradient ``g_i`` and every other ``g_j`` (in random order),
+    if ``<g_i, g_j> < 0`` replace ``g_i ← g_i − (<g_i,g_j>/||g_j||²) g_j``.
+    Returns the summed projected gradient as a single state dict.
+    """
+    if not gradients:
+        raise ValueError("no gradients to project")
+    keys = list(gradients[0])
+    flats = [np.concatenate([g[k].ravel() for k in keys]) for g in gradients]
+    projected = [flat.copy() for flat in flats]
+
+    for i in range(len(projected)):
+        order = rng.permutation(len(flats))
+        for j in order:
+            if j == i:
+                continue
+            dot = float(projected[i] @ flats[j])
+            if dot < 0.0:
+                norm_sq = float(flats[j] @ flats[j])
+                if norm_sq > 0.0:
+                    projected[i] = projected[i] - (dot / norm_sq) * flats[j]
+
+    combined_flat = np.sum(projected, axis=0)
+    combined = {}
+    offset = 0
+    for key in keys:
+        shape = gradients[0][key].shape
+        size = gradients[0][key].size
+        combined[key] = combined_flat[offset:offset + size].reshape(shape)
+        offset += size
+    return combined
+
+
+class PCGrad(LearningFramework):
+    """Projected-conflict gradient descent across domains."""
+
+    name = "PCGrad"
+
+    def fit(self, model, dataset, config, seed=0):
+        rng = spawn_rng(seed, "pcgrad", dataset.name)
+        optimizer = make_optimizer(
+            config.inner_optimizer, model.parameters(), config.inner_lr
+        )
+        named = dict(model.named_parameters())
+
+        tracker = BestTracker()
+        steps_per_epoch = config.joint_steps_per_epoch(dataset)
+        for _ in range(config.epochs):
+            for _ in range(steps_per_epoch):
+                per_domain = []
+                for domain in dataset:
+                    batch = sample_batch(
+                        domain.train, domain.index, config.batch_size, rng
+                    )
+                    _, grads = compute_loss_gradient(model, batch)
+                    # Parameters untouched by this domain contribute zeros.
+                    full = {
+                        name: grads.get(name, np.zeros_like(param.data))
+                        for name, param in named.items()
+                    }
+                    per_domain.append(full)
+                combined = project_conflicts(per_domain, rng)
+                model.zero_grad()
+                for name, param in named.items():
+                    param.grad = combined[name]
+                optimizer.step()
+            tracker.update(model_split_auc(model, dataset), model.state_dict())
+
+        model.load_state_dict(tracker.best)
+        return SingleModelBank(model)

@@ -1,0 +1,56 @@
+"""Weighted Loss (Kendall et al., CVPR 2018) adapted to MDR.
+
+Each domain's loss is weighted by a learned homoscedastic-uncertainty
+term: ``L = Σ_d exp(−s_d) · L_d + s_d`` with trainable log-variances
+``s_d``.  As the paper discusses (Section V-G), this balances losses but
+cannot remove gradient conflict, and tends to over-weight easy domains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.selection import BestTracker, model_split_auc
+from ..data.batching import sample_batch
+from ..nn import Parameter
+from ..nn.optim import make_optimizer
+from ..utils.seeding import spawn_rng
+from .base import LearningFramework, SingleModelBank
+
+__all__ = ["WeightedLoss"]
+
+
+class WeightedLoss(LearningFramework):
+    """Uncertainty-weighted joint training across domains."""
+
+    name = "Weighted Loss"
+
+    def fit(self, model, dataset, config, seed=0):
+        rng = spawn_rng(seed, "weighted-loss", dataset.name)
+        log_vars = Parameter(np.zeros(dataset.n_domains))
+        optimizer = make_optimizer(
+            config.inner_optimizer,
+            list(model.parameters()) + [log_vars],
+            config.inner_lr,
+        )
+
+        tracker = BestTracker()
+        steps_per_epoch = config.joint_steps_per_epoch(dataset)
+        for _ in range(config.epochs):
+            for _ in range(steps_per_epoch):
+                total = None
+                for domain in dataset:
+                    batch = sample_batch(
+                        domain.train, domain.index, config.batch_size, rng
+                    )
+                    weight = (-log_vars[domain.index]).exp()
+                    term = model.loss(batch) * weight + log_vars[domain.index]
+                    total = term if total is None else total + term
+                model.zero_grad()
+                log_vars.grad = None
+                total.backward()
+                optimizer.step()
+            tracker.update(model_split_auc(model, dataset), model.state_dict())
+
+        model.load_state_dict(tracker.best)
+        return SingleModelBank(model)

@@ -1,0 +1,15 @@
+"""``repro.metrics`` — AUC, the average-RANK metric, and evaluation reports."""
+
+from .auc import auc_score, mean_domain_auc
+from .gauc import gauc_score
+from .ranking import average_rank
+from .report import EvaluationReport, evaluate_bank
+
+__all__ = [
+    "auc_score",
+    "gauc_score",
+    "mean_domain_auc",
+    "average_rank",
+    "EvaluationReport",
+    "evaluate_bank",
+]

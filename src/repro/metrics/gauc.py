@@ -1,0 +1,55 @@
+"""Group AUC (GAUC) — the per-user refinement of AUC used widely in
+industrial CTR evaluation.
+
+GAUC computes an AUC per user (over that user's impressions) and averages
+with impression-count weights; users whose impressions are single-class are
+skipped, matching the standard definition.  It complements the paper's
+per-domain AUC with a per-user view on the same predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .auc import auc_score
+
+__all__ = ["gauc_score"]
+
+
+def gauc_score(users, labels, scores, min_impressions=2):
+    """Impression-weighted mean per-user AUC.
+
+    Parameters
+    ----------
+    users, labels, scores:
+        Aligned arrays over impressions.
+    min_impressions:
+        Users with fewer impressions are skipped (AUC meaningless).
+
+    Raises ``ValueError`` when no user has a computable AUC.
+    """
+    users = np.asarray(users)
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if not (len(users) == len(labels) == len(scores)):
+        raise ValueError("users, labels and scores must be aligned")
+
+    order = np.argsort(users, kind="mergesort")
+    sorted_users = users[order]
+    boundaries = np.flatnonzero(np.diff(sorted_users)) + 1
+    groups = np.split(order, boundaries)
+
+    total_weight = 0.0
+    total = 0.0
+    for group in groups:
+        if len(group) < min_impressions:
+            continue
+        group_labels = labels[group]
+        if group_labels.min() > 0.5 or group_labels.max() <= 0.5:
+            continue  # single-class user
+        weight = len(group)
+        total += weight * auc_score(group_labels, scores[group])
+        total_weight += weight
+    if total_weight == 0.0:
+        raise ValueError("no user group with both classes and enough impressions")
+    return total / total_weight

@@ -1,0 +1,58 @@
+"""The paper's average-RANK metric.
+
+Table V reports, for each method, the average over domains of the method's
+rank among all compared methods on that domain (1 = best AUC).  Ties get
+midranks, consistent with the AUC computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["average_rank"]
+
+
+def average_rank(per_method_domain_auc):
+    """Compute each method's average rank across domains.
+
+    Parameters
+    ----------
+    per_method_domain_auc:
+        ``{method_name: {domain_name: auc}}``; all methods must cover the
+        same domains.
+
+    Returns
+    -------
+    ``{method_name: float}`` — lower is better.
+    """
+    methods = list(per_method_domain_auc)
+    if not methods:
+        raise ValueError("no methods provided")
+    domains = list(per_method_domain_auc[methods[0]])
+    for method in methods:
+        if set(per_method_domain_auc[method]) != set(domains):
+            raise ValueError(f"method {method!r} covers different domains")
+
+    totals = {method: 0.0 for method in methods}
+    for domain in domains:
+        aucs = np.array([per_method_domain_auc[m][domain] for m in methods])
+        ranks = _descending_midranks(aucs)
+        for method, rank in zip(methods, ranks):
+            totals[method] += rank
+
+    return {method: totals[method] / len(domains) for method in methods}
+
+
+def _descending_midranks(values):
+    """Rank 1 = largest value; ties share the mean of their rank range."""
+    order = np.argsort(-values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=np.float64)
+    sorted_values = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks

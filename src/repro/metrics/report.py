@@ -1,0 +1,42 @@
+"""Per-domain evaluation of trained model banks."""
+
+from __future__ import annotations
+
+from ..data.batching import full_batch
+from .auc import auc_score, mean_domain_auc
+
+__all__ = ["evaluate_bank", "EvaluationReport"]
+
+
+class EvaluationReport:
+    """Per-domain AUCs for one method on one dataset."""
+
+    def __init__(self, method, dataset_name, per_domain):
+        self.method = method
+        self.dataset_name = dataset_name
+        self.per_domain = dict(per_domain)
+
+    @property
+    def mean_auc(self):
+        return mean_domain_auc(self.per_domain)
+
+    def __repr__(self):
+        return (
+            f"EvaluationReport({self.method!r} on {self.dataset_name!r}, "
+            f"mean AUC={self.mean_auc:.4f})"
+        )
+
+
+def evaluate_bank(bank, dataset, split="test", method="model"):
+    """Score a :class:`~repro.frameworks.base.DomainModelBank` on a dataset.
+
+    Returns an :class:`EvaluationReport` with one AUC per domain, the paper's
+    evaluation protocol (AUC per domain, then averaged).
+    """
+    per_domain = {}
+    for domain in dataset:
+        table = getattr(domain, split)
+        batch = full_batch(table, domain.index)
+        scores = bank.scores(batch)
+        per_domain[domain.name] = auc_score(table.labels, scores)
+    return EvaluationReport(method, dataset.name, per_domain)

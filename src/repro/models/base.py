@@ -1,0 +1,44 @@
+"""Base class shared by all CTR models in the zoo."""
+
+from __future__ import annotations
+
+from ..nn import Module, no_grad
+from ..nn import functional as F
+
+__all__ = ["CTRModel"]
+
+
+class CTRModel(Module):
+    """A click-through-rate model: batch in, logits out.
+
+    Single-domain architectures ignore ``batch.domain``; multi-domain ones
+    (Shared-Bottom, MMoE, PLE, STAR) route through their domain-specific
+    components with it.
+    """
+
+    #: whether the architecture has built-in domain-specific parameters
+    multi_domain = False
+
+    def __init__(self, encoder):
+        super().__init__()
+        self.encoder = encoder
+
+    def forward(self, batch):
+        """Return logits as a Tensor of shape [len(batch)]."""
+        raise NotImplementedError
+
+    def loss(self, batch, sample_weight=None):
+        """Mean binary cross entropy on the batch."""
+        logits = self(batch)
+        return F.bce_with_logits(logits, batch.labels, sample_weight=sample_weight)
+
+    def predict(self, batch):
+        """Click probabilities as a plain numpy array (no graph recorded)."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                probs = F.sigmoid(self(batch)).numpy()
+        finally:
+            self.train(was_training)
+        return probs

@@ -1,0 +1,39 @@
+"""DeepFM (Guo et al., IJCAI 2017).
+
+A factorization-machine component (first-order linear + second-order pairwise
+interactions) sharing field embeddings with a deep MLP component.
+"""
+
+from __future__ import annotations
+
+from ..nn import Dense, MLPBlock
+from ..nn import functional as F
+from .base import CTRModel
+from .neurfm import bi_interaction
+
+__all__ = ["DeepFM"]
+
+
+class DeepFM(CTRModel):
+    """FM (linear + pairwise) plus deep MLP, summed into one logit."""
+
+    def __init__(self, encoder, rng, hidden_dims=(64, 32), dropout_rate=0.1):
+        super().__init__(encoder)
+        self.linear = Dense(encoder.flat_dim, 1, rng)
+        self.deep = MLPBlock(
+            encoder.flat_dim,
+            list(hidden_dims) + [1],
+            rng,
+            activation="relu",
+            dropout_rate=dropout_rate,
+            out_activation="linear",
+        )
+
+    def forward(self, batch):
+        fields = self.encoder.fields(batch)
+        flat = F.concat(fields, axis=-1)
+        first_order = self.linear(flat)
+        # FM second-order term: sum over the bi-interaction vector.
+        second_order = bi_interaction(fields).sum(axis=-1, keepdims=True)
+        deep_logit = self.deep(flat)
+        return (first_order + second_order + deep_logit).reshape(len(batch))

@@ -1,0 +1,96 @@
+"""Feature encoders: the global feature storage of the paper's Figure 2.
+
+Every CTR model consumes the same interface — a list of per-field dense
+vectors for a batch of (user, item) pairs:
+
+* :class:`TrainableEmbeddingEncoder` learns id-embedding tables (the Amazon
+  setting, where the paper randomly initializes features and trains them).
+* :class:`FixedFeatureEncoder` holds frozen dense features (the Taobao
+  setting, where GraphSage features are fixed) behind trainable per-field
+  projections so all models see a uniform field dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Dense, Embedding, Module, Tensor
+from ..nn import functional as F
+
+__all__ = [
+    "FeatureEncoder",
+    "TrainableEmbeddingEncoder",
+    "FixedFeatureEncoder",
+    "build_encoder",
+]
+
+
+class FeatureEncoder(Module):
+    """Common interface: a batch in, a list of [B, field_dim] tensors out."""
+
+    n_fields = 2  # user, item
+
+    def __init__(self, field_dim):
+        super().__init__()
+        self.field_dim = field_dim
+
+    @property
+    def flat_dim(self):
+        """Dimension of the concatenated field representation."""
+        return self.n_fields * self.field_dim
+
+    def fields(self, batch):
+        raise NotImplementedError
+
+    def concat(self, batch):
+        """Concatenated field representation, [B, flat_dim]."""
+        return F.concat(self.fields(batch), axis=-1)
+
+
+class TrainableEmbeddingEncoder(FeatureEncoder):
+    """Learned user/item embedding tables."""
+
+    def __init__(self, n_users, n_items, field_dim, rng, std=0.05):
+        super().__init__(field_dim)
+        self.user_embedding = Embedding(n_users, field_dim, rng, std=std)
+        self.item_embedding = Embedding(n_items, field_dim, rng, std=std)
+
+    def fields(self, batch):
+        return [
+            self.user_embedding(batch.users),
+            self.item_embedding(batch.items),
+        ]
+
+
+class FixedFeatureEncoder(FeatureEncoder):
+    """Frozen dense features behind trainable linear projections.
+
+    The raw feature matrices are plain numpy arrays (never updated), matching
+    the paper's "we fixed these features during training".
+    """
+
+    def __init__(self, user_features, item_features, field_dim, rng):
+        super().__init__(field_dim)
+        self._user_features = np.asarray(user_features, dtype=np.float64)
+        self._item_features = np.asarray(item_features, dtype=np.float64)
+        self.user_projection = Dense(self._user_features.shape[1], field_dim, rng)
+        self.item_projection = Dense(self._item_features.shape[1], field_dim, rng)
+
+    def fields(self, batch):
+        user_raw = Tensor(self._user_features[batch.users])
+        item_raw = Tensor(self._item_features[batch.items])
+        return [
+            self.user_projection(user_raw),
+            self.item_projection(item_raw),
+        ]
+
+
+def build_encoder(dataset, field_dim, rng):
+    """Pick the encoder matching a dataset's feature mode."""
+    if dataset.has_fixed_features:
+        return FixedFeatureEncoder(
+            dataset.user_features, dataset.item_features, field_dim, rng
+        )
+    return TrainableEmbeddingEncoder(
+        dataset.n_users, dataset.n_items, field_dim, rng
+    )

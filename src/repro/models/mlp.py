@@ -1,0 +1,32 @@
+"""MLP — the simplest baseline and the paper's base model for MAMDR.
+
+Table V applies MAMDR to a plain multi-layer perceptron ("we just use the
+simplest multi-layer perceptron with three fully connected layers as the
+base model structure") and it outperforms every specialised architecture.
+"""
+
+from __future__ import annotations
+
+from ..nn import MLPBlock
+from .base import CTRModel
+
+__all__ = ["MLP"]
+
+
+class MLP(CTRModel):
+    """Concatenated field features through a dense stack to one logit."""
+
+    def __init__(self, encoder, rng, hidden_dims=(64, 32), dropout_rate=0.1):
+        super().__init__(encoder)
+        self.body = MLPBlock(
+            encoder.flat_dim,
+            list(hidden_dims) + [1],
+            rng,
+            activation="relu",
+            dropout_rate=dropout_rate,
+            out_activation="linear",
+        )
+
+    def forward(self, batch):
+        x = self.encoder.concat(batch)
+        return self.body(x).reshape(len(batch))

@@ -1,0 +1,47 @@
+"""Multi-gate Mixture-of-Experts (Ma et al., KDD 2018).
+
+Shared expert networks, with a per-domain gating network producing a softmax
+mixture over experts, followed by a per-domain tower.
+"""
+
+from __future__ import annotations
+
+from ..nn import Dense, MLPBlock, ModuleList
+from ..nn import functional as F
+from .base import CTRModel
+
+__all__ = ["MMoE"]
+
+
+class MMoE(CTRModel):
+    """MMoE with per-domain gates and towers."""
+
+    multi_domain = True
+
+    def __init__(self, encoder, rng, n_domains, num_experts=2,
+                 expert_dims=(64, 32), tower_dims=(16,), dropout_rate=0.1):
+        super().__init__(encoder)
+        self.n_domains = n_domains
+        self.num_experts = num_experts
+        self.experts = ModuleList(
+            MLPBlock(encoder.flat_dim, expert_dims, rng,
+                     activation="relu", dropout_rate=dropout_rate)
+            for _ in range(num_experts)
+        )
+        expert_out = self.experts[0].out_dim
+        self.gates = ModuleList(
+            Dense(encoder.flat_dim, num_experts, rng)
+            for _ in range(n_domains)
+        )
+        self.towers = ModuleList(
+            MLPBlock(expert_out, list(tower_dims) + [1], rng,
+                     activation="relu", out_activation="linear")
+            for _ in range(n_domains)
+        )
+
+    def forward(self, batch):
+        x = self.encoder.concat(batch)
+        expert_outputs = F.stack([expert(x) for expert in self.experts], axis=1)
+        gate_weights = F.softmax(self.gates[batch.domain](x), axis=-1)  # [B, E]
+        mixed = (expert_outputs * gate_weights.reshape(len(batch), self.num_experts, 1)).sum(axis=1)
+        return self.towers[batch.domain](mixed).reshape(len(batch))

@@ -1,0 +1,47 @@
+"""Neural Factorization Machine (He & Chua, SIGIR 2017).
+
+A bi-interaction pooling layer captures second-order feature interactions,
+followed by an MLP; a linear term over the raw fields is added to the logit.
+"""
+
+from __future__ import annotations
+
+from ..nn import Dense, MLPBlock
+from ..nn import functional as F
+from .base import CTRModel
+
+__all__ = ["NeurFM", "bi_interaction"]
+
+
+def bi_interaction(fields):
+    """Bi-interaction pooling: 0.5 * ((Σ v)^2 − Σ v^2), shape [B, d].
+
+    Equivalent to the sum of element-wise products over all field pairs.
+    """
+    stacked = F.stack(fields, axis=0)          # [F, B, d]
+    sum_fields = stacked.sum(axis=0)           # [B, d]
+    sum_squares = (stacked * stacked).sum(axis=0)
+    return (sum_fields * sum_fields - sum_squares) * 0.5
+
+
+class NeurFM(CTRModel):
+    """Bi-interaction pooling + MLP, plus a first-order linear term."""
+
+    def __init__(self, encoder, rng, hidden_dims=(64, 32), dropout_rate=0.1):
+        super().__init__(encoder)
+        self.linear = Dense(encoder.flat_dim, 1, rng)
+        self.deep = MLPBlock(
+            encoder.field_dim,
+            list(hidden_dims) + [1],
+            rng,
+            activation="relu",
+            dropout_rate=dropout_rate,
+            out_activation="linear",
+        )
+
+    def forward(self, batch):
+        fields = self.encoder.fields(batch)
+        pooled = bi_interaction(fields)
+        first_order = self.linear(F.concat(fields, axis=-1))
+        second_order = self.deep(pooled)
+        return (first_order + second_order).reshape(len(batch))

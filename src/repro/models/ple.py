@@ -1,0 +1,114 @@
+"""CGC and PLE (Tang et al., RecSys 2020).
+
+Customized Gate Control (CGC) separates shared experts from domain-specific
+experts, with per-domain gates mixing {shared + own-specific} experts.
+Progressive Layered Extraction (PLE) stacks several CGC extraction layers.
+The industry comparison (Table VIII) uses both CGC (single layer) and PLE.
+"""
+
+from __future__ import annotations
+
+from ..nn import Dense, MLPBlock, Module, ModuleList
+from ..nn import functional as F
+from .base import CTRModel
+
+__all__ = ["CGCLayer", "CGC", "PLE"]
+
+
+class CGCLayer(Module):
+    """One extraction layer: shared + per-domain experts, per-domain gates.
+
+    ``forward(shared_input, domain_inputs, domain)`` returns the new
+    ``(shared_output, domain_output)`` pair for the requested domain.  The
+    shared output mixes *all* experts through a shared gate (used only when
+    another CGC layer follows).
+    """
+
+    def __init__(self, in_dim, n_domains, num_shared_experts, num_specific_experts,
+                 expert_dims, rng, dropout_rate=0.0):
+        super().__init__()
+        self.n_domains = n_domains
+        self.num_shared = num_shared_experts
+        self.num_specific = num_specific_experts
+        self.shared_experts = ModuleList(
+            MLPBlock(in_dim, expert_dims, rng, activation="relu",
+                     dropout_rate=dropout_rate)
+            for _ in range(num_shared_experts)
+        )
+        self.specific_experts = ModuleList(
+            ModuleList(
+                MLPBlock(in_dim, expert_dims, rng, activation="relu",
+                         dropout_rate=dropout_rate)
+                for _ in range(num_specific_experts)
+            )
+            for _ in range(n_domains)
+        )
+        # Per-domain gate mixes shared + that domain's specific experts.
+        self.domain_gates = ModuleList(
+            Dense(in_dim, num_shared_experts + num_specific_experts, rng)
+            for _ in range(n_domains)
+        )
+        # Shared gate mixes shared experts only (feeds the next layer).
+        self.shared_gate = Dense(in_dim, num_shared_experts, rng)
+        self.out_dim = expert_dims[-1]
+
+    def forward(self, shared_input, domain_input, domain):
+        batch = len(shared_input)
+        shared_outs = [expert(shared_input) for expert in self.shared_experts]
+        specific_outs = [
+            expert(domain_input) for expert in self.specific_experts[domain]
+        ]
+
+        mixed_experts = F.stack(shared_outs + specific_outs, axis=1)
+        gate = F.softmax(self.domain_gates[domain](domain_input), axis=-1)
+        domain_out = (
+            mixed_experts * gate.reshape(batch, self.num_shared + self.num_specific, 1)
+        ).sum(axis=1)
+
+        shared_experts_only = F.stack(shared_outs, axis=1)
+        shared_gate = F.softmax(self.shared_gate(shared_input), axis=-1)
+        shared_out = (
+            shared_experts_only * shared_gate.reshape(batch, self.num_shared, 1)
+        ).sum(axis=1)
+        return shared_out, domain_out
+
+
+class CGC(CTRModel):
+    """Single-layer Customized Gate Control with per-domain towers."""
+
+    multi_domain = True
+    _num_layers = 1
+
+    def __init__(self, encoder, rng, n_domains, num_shared_experts=1,
+                 num_specific_experts=1, expert_dims=(32,), tower_dims=(16,),
+                 dropout_rate=0.1):
+        super().__init__(encoder)
+        self.n_domains = n_domains
+        layers = []
+        in_dim = encoder.flat_dim
+        for _ in range(self._num_layers):
+            layer = CGCLayer(
+                in_dim, n_domains, num_shared_experts, num_specific_experts,
+                expert_dims, rng, dropout_rate=dropout_rate,
+            )
+            layers.append(layer)
+            in_dim = layer.out_dim
+        self.extraction_layers = ModuleList(layers)
+        self.towers = ModuleList(
+            MLPBlock(in_dim, list(tower_dims) + [1], rng,
+                     activation="relu", out_activation="linear")
+            for _ in range(n_domains)
+        )
+
+    def forward(self, batch):
+        x = self.encoder.concat(batch)
+        shared, specific = x, x
+        for layer in self.extraction_layers:
+            shared, specific = layer(shared, specific, batch.domain)
+        return self.towers[batch.domain](specific).reshape(len(batch))
+
+
+class PLE(CGC):
+    """Progressive Layered Extraction: two stacked CGC layers."""
+
+    _num_layers = 2

@@ -1,0 +1,39 @@
+"""Shared-Bottom multi-task model (Ruder 2017, applied to MDR).
+
+One shared bottom network plus a small tower network per domain — the
+canonical "shared + specific parameters" decomposition of Figure 1(c).
+"""
+
+from __future__ import annotations
+
+from ..nn import MLPBlock, ModuleList
+from .base import CTRModel
+
+__all__ = ["SharedBottom"]
+
+
+class SharedBottom(CTRModel):
+    """Shared bottom MLP, one tower head per domain."""
+
+    multi_domain = True
+
+    def __init__(self, encoder, rng, n_domains, bottom_dims=(64, 32),
+                 tower_dims=(16,), dropout_rate=0.1):
+        super().__init__(encoder)
+        self.n_domains = n_domains
+        self.bottom = MLPBlock(
+            encoder.flat_dim, bottom_dims, rng,
+            activation="relu", dropout_rate=dropout_rate,
+        )
+        self.towers = ModuleList(
+            MLPBlock(
+                self.bottom.out_dim, list(tower_dims) + [1], rng,
+                activation="relu", out_activation="linear",
+            )
+            for _ in range(n_domains)
+        )
+
+    def forward(self, batch):
+        shared = self.bottom(self.encoder.concat(batch))
+        tower = self.towers[batch.domain]
+        return tower(shared).reshape(len(batch))

@@ -1,0 +1,77 @@
+"""STAR: Star Topology Adaptive Recommender (Sheng et al., CIKM 2021).
+
+The state-of-the-art MDR baseline in Table V.  Each fully-connected layer
+combines a shared (centered) weight with a domain-specific weight by
+element-wise multiplication — the star topology — and inputs pass through
+Partitioned Normalization with per-domain statistics.  An auxiliary network
+on the domain indicator adds a domain-prior logit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    Module,
+    ModuleList,
+    Parameter,
+    PartitionedNorm,
+    glorot_uniform,
+)
+from ..nn import functional as F
+from ..nn import init
+from .base import CTRModel
+
+__all__ = ["STAR", "StarLayer"]
+
+
+class StarLayer(Module):
+    """FCN layer with star-combined weights.
+
+    Effective weights for domain ``d``: ``W = W_shared * W_d`` (element-wise)
+    and ``b = b_shared + b_d``; specific factors start at one/zero so the
+    layer initially equals its shared part.
+    """
+
+    def __init__(self, in_dim, out_dim, n_domains, rng, activation="relu"):
+        super().__init__()
+        self.weight_shared = Parameter(glorot_uniform(rng, (in_dim, out_dim)))
+        self.bias_shared = Parameter(init.zeros(out_dim))
+        self.weight_domain = Parameter(np.ones((n_domains, in_dim, out_dim)))
+        self.bias_domain = Parameter(init.zeros((n_domains, out_dim)))
+        from ..nn.layers import resolve_activation
+
+        self._activation = resolve_activation(activation)
+        self.n_domains = n_domains
+
+    def forward(self, x, domain):
+        weight = self.weight_shared * self.weight_domain[domain]
+        bias = self.bias_shared + self.bias_domain[domain]
+        return self._activation(x @ weight + bias)
+
+
+class STAR(CTRModel):
+    """Star-topology FCN with Partitioned Normalization and domain prior."""
+
+    multi_domain = True
+
+    def __init__(self, encoder, rng, n_domains, hidden_dims=(64, 32)):
+        super().__init__(encoder)
+        self.n_domains = n_domains
+        self.input_norm = PartitionedNorm(encoder.flat_dim, n_domains)
+        dims = [encoder.flat_dim] + list(hidden_dims)
+        self.star_layers = ModuleList(
+            StarLayer(d_in, d_out, n_domains, rng)
+            for d_in, d_out in zip(dims[:-1], dims[1:])
+        )
+        self.output = StarLayer(dims[-1], 1, n_domains, rng, activation="linear")
+        # Auxiliary network: a learned per-domain prior logit.
+        self.domain_prior = Parameter(init.zeros(n_domains))
+
+    def forward(self, batch):
+        x = self.encoder.concat(batch)
+        x = self.input_norm(x, batch.domain)
+        for layer in self.star_layers:
+            x = layer(x, batch.domain)
+        logits = self.output(x, batch.domain).reshape(len(batch))
+        return logits + self.domain_prior[batch.domain]

@@ -1,0 +1,38 @@
+"""Wide & Deep (Cheng et al., 2016).
+
+A wide linear component over raw field features plus an explicit
+cross-product feature (the element-wise user-item interaction stands in for
+hand-crafted crosses), combined with a deep MLP component.
+"""
+
+from __future__ import annotations
+
+from ..nn import Dense, MLPBlock
+from ..nn import functional as F
+from .base import CTRModel
+
+__all__ = ["WDL"]
+
+
+class WDL(CTRModel):
+    """Wide (linear + cross features) and Deep (MLP) joint model."""
+
+    def __init__(self, encoder, rng, hidden_dims=(64, 32), dropout_rate=0.1):
+        super().__init__(encoder)
+        self.wide = Dense(encoder.flat_dim + encoder.field_dim, 1, rng)
+        self.deep = MLPBlock(
+            encoder.flat_dim,
+            list(hidden_dims) + [1],
+            rng,
+            activation="relu",
+            dropout_rate=dropout_rate,
+            out_activation="linear",
+        )
+
+    def forward(self, batch):
+        fields = self.encoder.fields(batch)
+        flat = F.concat(fields, axis=-1)
+        cross = fields[0] * fields[1]
+        wide_logit = self.wide(F.concat([flat, cross], axis=-1))
+        deep_logit = self.deep(flat)
+        return (wide_logit + deep_logit).reshape(len(batch))

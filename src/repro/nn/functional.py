@@ -1,0 +1,156 @@
+"""Functional building blocks composed from :class:`~repro.nn.tensor.Tensor`.
+
+Everything here is differentiable (where meaningful) and built either from
+primitives defined on ``Tensor`` or as new primitives with hand-written
+backward passes (``concat``, ``embedding``), all covered by gradcheck tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softplus",
+    "leaky_relu",
+    "softmax",
+    "dropout",
+    "concat",
+    "stack",
+    "embedding",
+    "linear",
+    "bce_with_logits",
+    "mse_loss",
+    "l2_penalty",
+]
+
+
+def relu(x):
+    return as_tensor(x).relu()
+
+
+def sigmoid(x):
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x):
+    return as_tensor(x).tanh()
+
+
+def softplus(x):
+    return as_tensor(x).softplus()
+
+
+def leaky_relu(x, negative_slope=0.01):
+    x = as_tensor(x)
+    mask = x.data > 0.0
+    scale = np.where(mask, 1.0, negative_slope)
+    return Tensor._make(x.data * scale, (x,), lambda g: (g * scale,))
+
+
+def softmax(x, axis=-1):
+    """Softmax along ``axis``, numerically stabilized with a detached max."""
+    x = as_tensor(x)
+    shift = x - np.max(x.data, axis=axis, keepdims=True)
+    exp = shift.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def dropout(x, rate, rng, training=True):
+    """Inverted dropout: zero activations with probability ``rate``.
+
+    ``rng`` must be a ``numpy.random.Generator``; passing it explicitly keeps
+    every training run reproducible.
+    """
+    x = as_tensor(x)
+    if not training or rate <= 0.0:
+        return x
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    keep = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * keep
+
+
+def concat(tensors, axis=-1):
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(g):
+        return tuple(np.split(g, boundaries, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors, axis=0):
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        return tuple(np.moveaxis(g, axis, 0))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def embedding(weight, indices):
+    """Gather rows ``indices`` from ``weight`` ([n, d] -> [len(indices), d]).
+
+    The backward pass scatter-adds into the weight gradient, which is the
+    sparse-embedding update the paper's PS-Worker cache (Section IV-E) is
+    built around.
+    """
+    weight = as_tensor(weight)
+    indices = np.asarray(indices, dtype=np.int64)
+
+    def backward(g):
+        grad = np.zeros_like(weight.data)
+        np.add.at(grad, indices, g)
+        return (grad,)
+
+    return Tensor._make(weight.data[indices], (weight,), backward)
+
+
+def linear(x, weight, bias=None):
+    """Affine map ``x @ weight + bias`` with [in, out]-shaped weight."""
+    out = as_tensor(x) @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def bce_with_logits(logits, labels, sample_weight=None):
+    """Mean binary cross entropy on raw logits (numerically stable).
+
+    Uses the identity ``BCE(x, y) = softplus(x) - x*y`` for y in {0, 1},
+    which also holds (as the expected cross entropy) for soft labels.
+    """
+    logits = as_tensor(logits)
+    labels = as_tensor(labels)
+    per_sample = logits.softplus() - logits * labels
+    if sample_weight is not None:
+        per_sample = per_sample * as_tensor(sample_weight)
+    return per_sample.mean()
+
+
+def mse_loss(pred, target):
+    """Mean squared error."""
+    diff = as_tensor(pred) - as_tensor(target)
+    return (diff * diff).mean()
+
+
+def l2_penalty(params):
+    """Sum of squared entries over an iterable of tensors."""
+    total = None
+    for p in params:
+        term = (p * p).sum()
+        total = term if total is None else total + term
+    if total is None:
+        raise ValueError("l2_penalty needs at least one tensor")
+    return total

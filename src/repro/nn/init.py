@@ -1,0 +1,44 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+experiment in the benchmark harness is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_uniform", "normal", "zeros"]
+
+
+def glorot_uniform(rng, shape):
+    """Glorot/Xavier uniform initialization for [fan_in, fan_out] weights."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(rng, shape):
+    """He uniform initialization (appropriate before ReLU)."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(rng, shape, std=0.01):
+    """Gaussian initialization, the common choice for embedding tables."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape):
+    """All-zero initialization (biases, specific-parameter deltas)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _fans(shape):
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[0] * receptive, shape[1] * receptive

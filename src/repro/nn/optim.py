@@ -1,0 +1,139 @@
+"""Optimizers over :class:`~repro.nn.module.Parameter` lists.
+
+The paper's large-scale setup pairs different optimizers for the inner and
+outer loops (SGD inside, Adagrad on the parameter server); all three
+optimizers used anywhere in the paper — SGD, Adam, Adagrad — are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "Adagrad", "make_optimizer"]
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and applies :meth:`step`."""
+
+    def __init__(self, params, lr):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self):
+        for param in self.params:
+            param.grad = None
+
+    def step(self):
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            self._update(index, param)
+
+    def _update(self, index, param):
+        raise NotImplementedError
+
+    def reset_state(self):
+        """Drop accumulated moments (used when reusing an optimizer across
+        meta-learning inner loops, where stale moments leak information)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params, lr, momentum=0.0, weight_decay=0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = {}
+
+    def _update(self, index, param):
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            velocity = self._velocity.get(index)
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[index] = velocity
+            grad = velocity
+        param.data = param.data - self.lr * grad
+
+    def reset_state(self):
+        self._velocity.clear()
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) — the optimizer used for the public benchmarks."""
+
+    def __init__(self, params, lr, beta1=0.9, beta2=0.999, eps=1e-8):
+        super().__init__(params, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = {}
+        self._v = {}
+        self._t = 0
+
+    def step(self):
+        self._t += 1
+        super().step()
+
+    def _update(self, index, param):
+        grad = param.grad
+        m = self._m.get(index)
+        v = self._v.get(index)
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad ** 2
+        self._m[index] = m
+        self._v[index] = v
+        m_hat = m / (1.0 - self.beta1 ** self._t)
+        v_hat = v / (1.0 - self.beta2 ** self._t)
+        param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset_state(self):
+        self._m.clear()
+        self._v.clear()
+        self._t = 0
+
+
+class Adagrad(Optimizer):
+    """Adagrad — used on the parameter server in the industry deployment."""
+
+    def __init__(self, params, lr, eps=1e-10):
+        super().__init__(params, lr)
+        self.eps = eps
+        self._accum = {}
+
+    def _update(self, index, param):
+        grad = param.grad
+        accum = self._accum.get(index)
+        if accum is None:
+            accum = np.zeros_like(param.data)
+        accum = accum + grad ** 2
+        self._accum[index] = accum
+        param.data = param.data - self.lr * grad / (np.sqrt(accum) + self.eps)
+
+    def reset_state(self):
+        self._accum.clear()
+
+
+_OPTIMIZERS = {"sgd": SGD, "adam": Adam, "adagrad": Adagrad}
+
+
+def make_optimizer(name, params, lr, **kwargs):
+    """Build an optimizer by name (``"sgd"``, ``"adam"``, ``"adagrad"``)."""
+    try:
+        cls = _OPTIMIZERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name!r}; expected one of {sorted(_OPTIMIZERS)}"
+        ) from None
+    return cls(params, lr, **kwargs)

@@ -1,0 +1,72 @@
+"""Persistence for parameter states and per-domain model banks.
+
+The serving system of Figure 2 stores shared parameters plus one specific
+state per domain; these helpers persist that layout to a single ``.npz``
+archive so a trained :class:`~repro.frameworks.base.StateBank` can be
+shipped, reloaded and served without retraining.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = [
+    "save_state",
+    "load_state",
+    "save_bank_states",
+    "load_bank_states",
+]
+
+_DOMAIN_PREFIX = "domain:"
+_DEFAULT_PREFIX = "default:"
+
+
+def save_state(path, state):
+    """Persist one ``{name: ndarray}`` state dict to ``path`` (.npz)."""
+    np.savez(path, **{name: value for name, value in state.items()})
+
+
+def load_state(path):
+    """Load a state dict saved by :func:`save_state`."""
+    with np.load(path) as archive:
+        return OrderedDict((name, archive[name].copy()) for name in archive.files)
+
+
+def save_bank_states(path, domain_states, default_state=None):
+    """Persist a per-domain state bank to one archive.
+
+    Keys are namespaced ``domain:<index>/<param>`` plus optional
+    ``default:<param>`` entries for the fallback state.
+    """
+    payload = {}
+    for domain, state in domain_states.items():
+        for name, value in state.items():
+            payload[f"{_DOMAIN_PREFIX}{int(domain)}/{name}"] = value
+    if default_state is not None:
+        for name, value in default_state.items():
+            payload[f"{_DEFAULT_PREFIX}{name}"] = value
+    if not payload:
+        raise ValueError("nothing to save: empty bank")
+    np.savez(path, **payload)
+
+
+def load_bank_states(path):
+    """Load ``(domain_states, default_state)`` saved by
+    :func:`save_bank_states`."""
+    domain_states = {}
+    default_state = OrderedDict()
+    with np.load(path) as archive:
+        for key in archive.files:
+            if key.startswith(_DOMAIN_PREFIX):
+                rest = key[len(_DOMAIN_PREFIX):]
+                domain_text, _, name = rest.partition("/")
+                domain_states.setdefault(int(domain_text), OrderedDict())[name] = (
+                    archive[key].copy()
+                )
+            elif key.startswith(_DEFAULT_PREFIX):
+                default_state[key[len(_DEFAULT_PREFIX):]] = archive[key].copy()
+            else:
+                raise ValueError(f"unrecognized key {key!r} in bank archive")
+    return domain_states, (default_state or None)

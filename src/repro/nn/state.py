@@ -1,0 +1,89 @@
+"""State-dict arithmetic — the algebra of meta-learning updates.
+
+Every algorithm in the paper manipulates whole parameter states:
+
+* DN outer update (Eq. 3):   ``Θ ← Θ + β (Θ~ − Θ)``
+* Specific parameters (Eq. 4): ``Θ = θ_S + θ_i``
+* DR update (Eq. 8):          ``θ_i ← θ_i + γ (θ_i~ − θ_i)``
+
+These helpers implement that algebra on ``{name: ndarray}`` dicts so the
+framework code reads like the paper's equations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = [
+    "clone_state",
+    "zeros_like_state",
+    "state_add",
+    "state_sub",
+    "state_scale",
+    "state_interpolate",
+    "state_dot",
+    "state_norm",
+    "state_allclose",
+]
+
+
+def clone_state(state):
+    """Deep-copy a state dict."""
+    return OrderedDict((name, value.copy()) for name, value in state.items())
+
+
+def zeros_like_state(state):
+    """A state dict of zeros with matching shapes (initial θ_i deltas)."""
+    return OrderedDict((name, np.zeros_like(value)) for name, value in state.items())
+
+
+def _check_keys(a, b):
+    if a.keys() != b.keys():
+        missing = set(a) ^ set(b)
+        raise KeyError(f"state dicts disagree on keys: {sorted(missing)}")
+
+
+def state_add(a, b, scale=1.0):
+    """Return ``a + scale * b``."""
+    _check_keys(a, b)
+    return OrderedDict((name, a[name] + scale * b[name]) for name in a)
+
+
+def state_sub(a, b):
+    """Return ``a - b``."""
+    _check_keys(a, b)
+    return OrderedDict((name, a[name] - b[name]) for name in a)
+
+
+def state_scale(a, scale):
+    """Return ``scale * a``."""
+    return OrderedDict((name, scale * value) for name, value in a.items())
+
+
+def state_interpolate(origin, target, step):
+    """Return ``origin + step * (target - origin)`` (Eqs. 3 and 8)."""
+    _check_keys(origin, target)
+    return OrderedDict(
+        (name, origin[name] + step * (target[name] - origin[name]))
+        for name in origin
+    )
+
+
+def state_dot(a, b):
+    """Inner product over flattened states (used for conflict analysis)."""
+    _check_keys(a, b)
+    return float(sum(np.dot(a[name].ravel(), b[name].ravel()) for name in a))
+
+
+def state_norm(a):
+    """Euclidean norm of a flattened state."""
+    return float(np.sqrt(sum(float(np.sum(value ** 2)) for value in a.values())))
+
+
+def state_allclose(a, b, atol=1e-10):
+    """Whether two states are elementwise close (testing helper)."""
+    if a.keys() != b.keys():
+        return False
+    return all(np.allclose(a[name], b[name], atol=atol) for name in a)

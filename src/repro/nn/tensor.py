@@ -1,0 +1,402 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the computational substrate for the whole reproduction: the
+paper builds on TensorFlow, which is unavailable here, so we implement a
+small define-by-run autograd engine.  A :class:`Tensor` wraps a float64
+``numpy.ndarray`` and records the operations applied to it; calling
+:meth:`Tensor.backward` on a scalar result propagates gradients to every
+tensor created with ``requires_grad=True``.
+
+All primitive operations support numpy broadcasting; gradients flowing into
+a broadcast operand are reduced back to the operand's shape (see
+:func:`unbroadcast`).  Every primitive's backward pass is verified against
+central finite differences in ``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+]
+
+# Global toggle consulted when deciding whether to record the graph.  It is
+# flipped by the ``no_grad`` context manager during evaluation.
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (for inference)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled():
+    """Return whether operations are currently recorded for autodiff."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad, shape):
+    """Reduce ``grad`` back to ``shape`` after a broadcast forward pass.
+
+    numpy broadcasting may (a) prepend dimensions and (b) stretch size-1
+    dimensions.  The adjoint of broadcasting is summation over exactly those
+    axes.
+    """
+    if grad.shape == shape:
+        return grad
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    stretched = tuple(
+        axis
+        for axis, size in enumerate(shape)
+        if size == 1 and grad.shape[axis] != 1
+    )
+    if stretched:
+        grad = grad.sum(axis=stretched, keepdims=True)
+    return grad
+
+
+def _coerce(value):
+    """Return ``value`` as a float64 ndarray (scalars allowed)."""
+    if isinstance(value, Tensor):
+        raise TypeError("pass Tensor directly, do not coerce")
+    return np.asarray(value, dtype=np.float64)
+
+
+def as_tensor(value, requires_grad=False):
+    """Wrap ``value`` in a :class:`Tensor` unless it already is one."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts; stored as float64.
+    requires_grad:
+        When true, :meth:`backward` accumulates into :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad=False):
+        self.data = _coerce(data) if not isinstance(data, np.ndarray) else data.astype(np.float64, copy=False)
+        self.grad = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = None
+        self._parents = ()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag})"
+
+    def numpy(self):
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self):
+        """Return the single element of a scalar tensor as a float."""
+        return float(self.data)
+
+    def detach(self):
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self):
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data, parents, backward_fn):
+        """Create a result tensor, recording the graph when enabled."""
+        track = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=track)
+        if track:
+            out._parents = tuple(parents)
+            out._backward = backward_fn
+        return out
+
+    def backward(self, grad=None):
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (the tensor must then be a scalar, which is
+        the common "loss.backward()" case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without grad requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        topo_order = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo_order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads = {id(self): grad}
+        for node in reversed(topo_order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                if node.requires_grad:
+                    node.grad = node_grad if node.grad is None else node.grad + node_grad
+                continue
+            for parent, parent_grad in zip(node._parents, node._backward(node_grad)):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data + other.data,
+            (self, other),
+            lambda g: (unbroadcast(g, self.shape), unbroadcast(g, other.shape)),
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data - other.data,
+            (self, other),
+            lambda g: (unbroadcast(g, self.shape), unbroadcast(-g, other.shape)),
+        )
+
+    def __rsub__(self, other):
+        return as_tensor(other) - self
+
+    def __mul__(self, other):
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data * other.data,
+            (self, other),
+            lambda g: (
+                unbroadcast(g * other.data, self.shape),
+                unbroadcast(g * self.data, other.shape),
+            ),
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data / other.data,
+            (self, other),
+            lambda g: (
+                unbroadcast(g / other.data, self.shape),
+                unbroadcast(-g * self.data / (other.data ** 2), other.shape),
+            ),
+        )
+
+    def __rtruediv__(self, other):
+        return as_tensor(other) / self
+
+    def __neg__(self):
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+        return Tensor._make(
+            data,
+            (self,),
+            lambda g: (g * exponent * self.data ** (exponent - 1),),
+        )
+
+    # ------------------------------------------------------------------
+    # Matrix multiplication (supports batched operands, ndim >= 2)
+    # ------------------------------------------------------------------
+    def __matmul__(self, other):
+        other = as_tensor(other)
+        if self.ndim < 2 or other.ndim < 2:
+            raise ValueError("matmul requires ndim >= 2 operands")
+
+        def backward(g):
+            grad_self = unbroadcast(np.matmul(g, np.swapaxes(other.data, -1, -2)), self.shape)
+            grad_other = unbroadcast(np.matmul(np.swapaxes(self.data, -1, -2), g), other.shape)
+            return grad_self, grad_other
+
+        return Tensor._make(np.matmul(self.data, other.data), (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Nonlinearities used pervasively enough to be primitives
+    # ------------------------------------------------------------------
+    def exp(self):
+        data = np.exp(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * data,))
+
+    def log(self):
+        return Tensor._make(np.log(self.data), (self,), lambda g: (g / self.data,))
+
+    def sqrt(self):
+        data = np.sqrt(self.data)
+        return Tensor._make(data, (self,), lambda g: (g / (2.0 * data),))
+
+    def tanh(self):
+        data = np.tanh(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * (1.0 - data ** 2),))
+
+    def sigmoid(self):
+        data = _stable_sigmoid(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
+
+    def relu(self):
+        mask = self.data > 0.0
+        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+
+    def softplus(self):
+        """Numerically stable log(1 + exp(x)); gradient is sigmoid(x)."""
+        data = np.maximum(self.data, 0.0) + np.log1p(np.exp(-np.abs(self.data)))
+        return Tensor._make(data, (self,), lambda g: (g * _stable_sigmoid(self.data),))
+
+    def abs(self):
+        sign = np.sign(self.data)
+        return Tensor._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            grad = g
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            return (np.broadcast_to(grad, self.shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        return Tensor._make(
+            self.data.reshape(shape),
+            (self,),
+            lambda g: (g.reshape(original),),
+        )
+
+    def transpose(self, *axes):
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+        return Tensor._make(
+            self.data.transpose(axes),
+            (self,),
+            lambda g: (g.transpose(inverse),),
+        )
+
+    def swapaxes(self, axis_a, axis_b):
+        return Tensor._make(
+            np.swapaxes(self.data, axis_a, axis_b),
+            (self,),
+            lambda g: (np.swapaxes(g, axis_a, axis_b),),
+        )
+
+    def __getitem__(self, index):
+        data = self.data[index]
+
+        def backward(g):
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, g)
+            return (grad,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (return plain numpy, never differentiable)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+
+def _stable_sigmoid(x):
+    """Sigmoid computed without overflow for large |x|."""
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out

@@ -1,0 +1,6 @@
+"""Shared utilities: seeding and table formatting."""
+
+from .seeding import spawn_rng, stable_seed
+from .tables import format_table
+
+__all__ = ["spawn_rng", "stable_seed", "format_table"]

@@ -1,0 +1,36 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark targets print the same rows the paper's tables report; this
+keeps the formatting logic in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(headers, rows, title=None, float_fmt="{:.4f}"):
+    """Render a list-of-rows table as aligned monospaced text.
+
+    ``rows`` may contain floats (formatted with ``float_fmt``), ints, or
+    strings.
+    """
+    def render(cell):
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    text_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[col]) for row in text_rows)) if text_rows else len(header)
+        for col, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Gradient-conflict probes: geometry math and dataset semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    conflict_rate,
+    conflict_report,
+    pairwise_cosines,
+    pairwise_inner_products,
+    per_domain_gradients,
+)
+from repro.models import build_model
+
+
+def test_pairwise_matrices():
+    grads = np.array([[1.0, 0.0], [0.0, 2.0], [-1.0, 0.0]])
+    inner = pairwise_inner_products(grads)
+    np.testing.assert_allclose(inner, [[1, 0, -1], [0, 4, 0], [-1, 0, 1]])
+    cos = pairwise_cosines(grads)
+    np.testing.assert_allclose(np.diag(cos), 1.0)
+    assert cos[0, 2] == pytest.approx(-1.0)
+
+
+def test_conflict_rate_counts_negative_pairs():
+    inner = np.array([[1.0, -0.1, 0.2], [-0.1, 1.0, 0.3], [0.2, 0.3, 1.0]])
+    # 2 negative off-diagonal entries of 6
+    assert conflict_rate(inner) == pytest.approx(2 / 6)
+    with pytest.raises(ValueError):
+        conflict_rate(np.ones((1, 1)))
+
+
+def test_per_domain_gradients_shape(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    grads = per_domain_gradients(model, tiny_dataset, np.random.default_rng(0))
+    assert grads.shape == (tiny_dataset.n_domains, model.num_parameters())
+    assert np.isfinite(grads).all()
+
+
+def test_conflict_report_fields(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    report = conflict_report(model, tiny_dataset, np.random.default_rng(0))
+    assert set(report) == {
+        "conflict_rate", "mean_inner_product", "mean_cosine", "n_domains",
+    }
+    assert 0.0 <= report["conflict_rate"] <= 1.0
+    assert -1.0 <= report["mean_cosine"] <= 1.0
+    assert report["n_domains"] == tiny_dataset.n_domains
+
+
+def test_zero_conflict_dataset_has_aligned_gradients():
+    """Control experiment: with conflict=0 and no per-domain popularity,
+    per-domain gradients at init are strongly aligned; turning both on
+    lowers the alignment."""
+    from tests.conftest import make_tiny_dataset
+    from repro.data import DomainSpec, SyntheticConfig, generate_dataset
+
+    def build(conflict, dev):
+        return generate_dataset(SyntheticConfig(
+            name=f"ctrl_{conflict}_{dev}",
+            domains=tuple(DomainSpec(f"C{i}", 300, 0.3) for i in range(4)),
+            n_users=200, n_items=120, latent_dim=8,
+            conflict=conflict, domain_popularity_strength=dev, seed=9,
+        ))
+
+    aligned = build(0.0, 0.0)
+    conflicted = build(0.9, 1.0)
+    model_a = build_model("mlp", aligned, seed=1)
+    model_c = build_model("mlp", conflicted, seed=1)
+    rng = np.random.default_rng(0)
+    report_a = conflict_report(model_a, aligned, rng)
+    report_c = conflict_report(model_c, conflicted, rng)
+    assert report_a["mean_cosine"] > report_c["mean_cosine"]

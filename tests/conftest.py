@@ -1,0 +1,52 @@
+"""Shared fixtures: tiny datasets and a fast training config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TrainConfig
+from repro.data import DomainSpec, SyntheticConfig, generate_dataset
+
+
+def make_tiny_dataset(feature_mode="trainable", n_domains=3, seed=1,
+                      samples=(220, 160, 90)):
+    """A small but trainable multi-domain dataset for unit tests."""
+    specs = tuple(
+        DomainSpec(f"T{i}", samples[i % len(samples)], 0.25 + 0.05 * i)
+        for i in range(n_domains)
+    )
+    return generate_dataset(SyntheticConfig(
+        name=f"tiny_{feature_mode}_{n_domains}",
+        domains=specs,
+        n_users=150,
+        n_items=90,
+        latent_dim=8,
+        feature_mode=feature_mode,
+        feature_dim=10,
+        seed=seed,
+    ))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Trainable-embedding (Amazon-style) dataset, 3 domains."""
+    return make_tiny_dataset("trainable")
+
+
+@pytest.fixture(scope="session")
+def tiny_fixed_dataset():
+    """Fixed-feature (Taobao-style) dataset, 3 domains."""
+    return make_tiny_dataset("fixed")
+
+
+@pytest.fixture()
+def fast_config():
+    """A config small enough for per-test training."""
+    return TrainConfig(
+        epochs=2,
+        batch_size=32,
+        inner_steps=3,
+        dr_steps=2,
+        sample_k=1,
+        finetune_steps=4,
+    )

@@ -1,0 +1,85 @@
+"""Domain Negotiation (Algorithm 1) semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig, domain_negotiation_epoch
+from repro.core.trainer import make_inner_optimizer, train_steps
+from repro.models import build_model
+from repro.nn.state import state_allclose, state_interpolate, state_sub
+from repro.utils.seeding import spawn_rng
+
+
+def test_outer_update_is_interpolation(tiny_dataset, fast_config):
+    """Θ_new = Θ + β (Θ~ − Θ): with β=0.5 the new state is halfway between
+    the old state and the inner trajectory's endpoint."""
+    model = build_model("mlp", tiny_dataset, seed=0)
+    shared = model.state_dict()
+    config = fast_config.updated(outer_lr=0.5)
+    rng = spawn_rng(0, "t")
+    new_shared = domain_negotiation_epoch(model, tiny_dataset, shared, config, rng)
+    inner_end = model.state_dict()  # model is left at the trajectory end
+    expected = state_interpolate(shared, inner_end, 0.5)
+    assert state_allclose(new_shared, expected, atol=1e-10)
+    # and the update actually moved the parameters
+    moved = state_sub(new_shared, shared)
+    assert sum(float(np.abs(v).sum()) for v in moved.values()) > 0
+
+
+def test_beta_one_degenerates_to_alternate_training(tiny_dataset, fast_config):
+    """Section IV-A: with β = 1 DN *is* Alternate Training — the outer state
+    equals the sequential inner trajectory exactly."""
+    config = fast_config.updated(outer_lr=1.0)
+
+    model_dn = build_model("mlp", tiny_dataset, seed=0)
+    shared = model_dn.state_dict()
+    rng_dn = spawn_rng(7, "order")
+    optimizer_dn = make_inner_optimizer(model_dn, config)
+    dn_state = domain_negotiation_epoch(
+        model_dn, tiny_dataset, shared, config, rng_dn, optimizer=optimizer_dn
+    )
+
+    # Manual alternate training with the same rng stream -> same domain
+    # order and same batches.
+    model_alt = build_model("mlp", tiny_dataset, seed=0)
+    rng_alt = spawn_rng(7, "order")
+    optimizer_alt = make_inner_optimizer(model_alt, config)
+    order = list(range(tiny_dataset.n_domains))
+    rng_alt.shuffle(order)
+    for domain_index in order:
+        domain = tiny_dataset.domain(domain_index)
+        train_steps(model_alt, domain.train, domain_index, optimizer_alt,
+                    rng_alt, config.batch_size, config.inner_steps)
+
+    assert state_allclose(dn_state, model_alt.state_dict(), atol=1e-12)
+
+
+def test_smaller_beta_moves_less(tiny_dataset, fast_config):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    shared = model.state_dict()
+
+    def movement(beta):
+        m = build_model("mlp", tiny_dataset, seed=0)
+        new = domain_negotiation_epoch(
+            m, tiny_dataset, shared, fast_config.updated(outer_lr=beta),
+            spawn_rng(3, "m"),
+        )
+        return sum(float(np.abs(v).sum())
+                   for v in state_sub(new, shared).values())
+
+    assert movement(0.1) < movement(0.5) < movement(1.0)
+
+
+def test_domain_order_reshuffled_across_epochs(tiny_dataset, fast_config):
+    """The inner-loop order must change between epochs — the symmetry that
+    makes InnerGrad (Eq. 19-21) an expectation over pairs."""
+    model = build_model("mlp", tiny_dataset, seed=0)
+    rng = spawn_rng(11, "shuffle")
+    orders = []
+    for _ in range(6):
+        order = list(range(tiny_dataset.n_domains))
+        rng.shuffle(order)
+        orders.append(tuple(order))
+    assert len(set(orders)) > 1

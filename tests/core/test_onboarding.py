@@ -1,0 +1,54 @@
+"""New-domain onboarding (the Figure 2 platform story)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MAMDR, extend_bank, onboard_domain
+from repro.core.selection import domain_split_auc
+from repro.frameworks import StateBank
+from repro.models import build_model
+from repro.nn.state import state_allclose
+from tests.conftest import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def grown_dataset():
+    """Four domains; we treat domain 3 as the one being onboarded."""
+    return make_tiny_dataset(n_domains=4, seed=8, samples=(250, 200, 150, 120))
+
+
+def test_onboard_returns_best_val_state(grown_dataset, fast_config):
+    model = build_model("mlp", grown_dataset, seed=0)
+    shared = model.state_dict()
+    combined = onboard_domain(model, grown_dataset, shared, 3,
+                              config=fast_config, seed=1)
+    new_domain = grown_dataset.domain(3)
+    model.load_state_dict(combined)
+    onboarded_auc = domain_split_auc(model, new_domain)
+    model.load_state_dict(shared)
+    shared_auc = domain_split_auc(model, new_domain)
+    # selection guarantees the onboarded state is never worse on val
+    assert onboarded_auc >= shared_auc
+
+
+def test_onboarding_leaves_existing_domains_untouched(grown_dataset,
+                                                      fast_config):
+    model = build_model("mlp", grown_dataset, seed=0)
+    bank = MAMDR().fit(model, grown_dataset, fast_config, seed=0)
+    before = {d: bank.state_for(d) for d in range(3)}
+
+    extended = extend_bank(bank, model, grown_dataset, 3,
+                           config=fast_config, seed=2)
+    assert isinstance(extended, StateBank)
+    for d in range(3):
+        assert state_allclose(extended.state_for(d), before[d])
+    assert 3 in extended.domain_states
+
+
+def test_extend_bank_requires_default_state(grown_dataset, fast_config):
+    model = build_model("mlp", grown_dataset, seed=0)
+    bank = StateBank(model, {0: model.state_dict()})
+    with pytest.raises(ValueError):
+        extend_bank(bank, model, grown_dataset, 3, config=fast_config)

@@ -1,0 +1,85 @@
+"""Domain Regularization (Algorithm 2) semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DomainParameterSpace,
+    TrainConfig,
+    domain_regularization_round,
+    sample_helper_domains,
+)
+from repro.models import build_model
+from repro.nn.state import state_allclose
+from repro.utils.seeding import spawn_rng
+
+
+def test_sample_helper_domains_excludes_target():
+    rng = spawn_rng(0, "s")
+    for _ in range(20):
+        helpers = sample_helper_domains(rng, 6, target=2, k=3)
+        assert len(helpers) == 3
+        assert 2 not in helpers
+        assert len(set(helpers)) == 3
+
+
+def test_sample_helper_domains_edge_cases():
+    rng = spawn_rng(0, "s")
+    assert sample_helper_domains(rng, 5, 0, 0) == []
+    assert sample_helper_domains(rng, 1, 0, 3) == []
+    # k >= available: all others returned
+    helpers = sample_helper_domains(rng, 3, 1, 10)
+    assert sorted(helpers) == [0, 2]
+
+
+def test_dr_round_updates_only_target_delta(tiny_dataset, fast_config):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    space = DomainParameterSpace(model, tiny_dataset.n_domains)
+    rng = spawn_rng(1, "dr")
+
+    new_delta = domain_regularization_round(
+        model, tiny_dataset, space, target=0, config=fast_config, rng=rng
+    )
+    moved = sum(float(np.abs(v).sum()) for v in new_delta.values())
+    assert moved > 0.0
+    # the space itself is not mutated by the round (caller commits)
+    assert state_allclose(space.delta(0), {k: np.zeros_like(v) for k, v in new_delta.items()})
+
+
+def test_dr_round_with_k_zero_is_identity(tiny_dataset, fast_config):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    space = DomainParameterSpace(model, tiny_dataset.n_domains)
+    config = fast_config.updated(sample_k=0)
+    rng = spawn_rng(1, "dr")
+    new_delta = domain_regularization_round(
+        model, tiny_dataset, space, target=0, config=config, rng=rng
+    )
+    assert state_allclose(new_delta, space.delta(0))
+
+
+def test_dr_gamma_scales_step(tiny_dataset, fast_config):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    space = DomainParameterSpace(model, tiny_dataset.n_domains)
+
+    def delta_norm(gamma):
+        config = fast_config.updated(dr_lr=gamma, sample_k=1)
+        rng = spawn_rng(5, "dr")
+        new_delta = domain_regularization_round(
+            model, tiny_dataset, space, target=1, config=config, rng=rng
+        )
+        return sum(float(np.abs(v).sum()) for v in new_delta.values())
+
+    assert delta_norm(0.05) < delta_norm(0.5)
+
+
+def test_dr_shared_untouched(tiny_dataset, fast_config):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    space = DomainParameterSpace(model, tiny_dataset.n_domains)
+    shared_before = {k: v.copy() for k, v in space.shared.items()}
+    rng = spawn_rng(2, "dr")
+    domain_regularization_round(
+        model, tiny_dataset, space, target=0, config=fast_config, rng=rng
+    )
+    assert state_allclose(space.shared, shared_before)

@@ -1,0 +1,72 @@
+"""Low-level training helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import TrainConfig, compute_loss_gradient, train_steps
+from repro.core.trainer import make_inner_optimizer
+from repro.data import sample_batch
+from repro.models import build_model
+from repro.nn import Adam, SGD
+
+
+def test_train_steps_returns_mean_loss(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    config = TrainConfig()
+    optimizer = make_inner_optimizer(model, config)
+    domain = tiny_dataset.domain(0)
+    rng = np.random.default_rng(0)
+    loss = train_steps(model, domain.train, 0, optimizer, rng, 32, 3)
+    assert 0.0 < loss < 10.0
+
+
+def test_train_steps_respects_max_steps(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    config = TrainConfig()
+    optimizer = make_inner_optimizer(model, config)
+    domain = tiny_dataset.domain(0)
+    rng = np.random.default_rng(0)
+    state_before = model.state_dict()
+    train_steps(model, domain.train, 0, optimizer, rng, 32, 0)
+    # zero steps -> no movement
+    for name, value in model.state_dict().items():
+        np.testing.assert_array_equal(value, state_before[name])
+
+
+def test_make_inner_optimizer_respects_config(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    adam = make_inner_optimizer(model, TrainConfig(inner_optimizer="adam"))
+    assert isinstance(adam, Adam)
+    sgd = make_inner_optimizer(
+        model, TrainConfig(inner_optimizer="sgd", inner_lr=0.3)
+    )
+    assert isinstance(sgd, SGD)
+    assert sgd.lr == 0.3
+
+
+def test_compute_loss_gradient_matches_manual_backward(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    model.eval()  # disable dropout so both passes are identical
+    rng = np.random.default_rng(0)
+    batch = sample_batch(tiny_dataset.domain(0).train, 0, 16, rng)
+    loss_value, grads = compute_loss_gradient(model, batch)
+
+    loss = model.loss(batch)
+    model.zero_grad()
+    loss.backward()
+    assert loss.item() == loss_value
+    for name, param in model.named_parameters():
+        if param.grad is not None:
+            np.testing.assert_allclose(grads[name], param.grad)
+
+
+def test_compute_loss_gradient_returns_copies(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    rng = np.random.default_rng(0)
+    batch = sample_batch(tiny_dataset.domain(0).train, 0, 16, rng)
+    _, grads = compute_loss_gradient(model, batch)
+    name = next(iter(grads))
+    grads[name][...] = 1e9
+    _, fresh = compute_loss_gradient(model, batch)
+    assert not np.any(fresh[name] == 1e9)

@@ -1,0 +1,72 @@
+"""Minibatch iteration semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionTable, full_batch, iter_minibatches, sample_batch
+
+
+def make_table(n=25):
+    return InteractionTable(
+        np.arange(n, dtype=np.int64),
+        np.arange(n, dtype=np.int64) * 2,
+        (np.arange(n) % 2).astype(float),
+    )
+
+
+def test_batches_cover_table_once():
+    table = make_table(25)
+    batches = list(iter_minibatches(table, domain=3, batch_size=10))
+    assert [len(b) for b in batches] == [10, 10, 5]
+    assert all(b.domain == 3 for b in batches)
+    seen = np.concatenate([b.users for b in batches])
+    np.testing.assert_array_equal(np.sort(seen), table.users)
+
+
+def test_shuffle_changes_order_not_content():
+    table = make_table(30)
+    rng = np.random.default_rng(0)
+    batches = list(iter_minibatches(table, 0, 30, rng=rng))
+    assert len(batches) == 1
+    assert not np.array_equal(batches[0].users, table.users)
+    np.testing.assert_array_equal(np.sort(batches[0].users), table.users)
+
+
+def test_max_batches_caps_pass():
+    table = make_table(100)
+    batches = list(iter_minibatches(table, 0, 10, max_batches=3))
+    assert len(batches) == 3
+
+
+def test_bad_batch_size_rejected():
+    with pytest.raises(ValueError):
+        list(iter_minibatches(make_table(), 0, 0))
+
+
+def test_full_batch_matches_table():
+    table = make_table(7)
+    batch = full_batch(table, 2)
+    assert len(batch) == 7
+    np.testing.assert_array_equal(batch.items, table.items)
+    assert batch.domain == 2
+
+
+def test_sample_batch_without_replacement():
+    table = make_table(20)
+    rng = np.random.default_rng(1)
+    batch = sample_batch(table, 0, 10, rng)
+    assert len(batch) == 10
+    assert len(set(batch.users.tolist())) == 10
+    # requesting more than available clips to table size
+    big = sample_batch(table, 0, 500, rng)
+    assert len(big) == 20
+
+
+def test_sample_batch_empty_table_rejected():
+    empty = InteractionTable(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0)
+    )
+    with pytest.raises(ValueError):
+        sample_batch(empty, 0, 4, np.random.default_rng(0))

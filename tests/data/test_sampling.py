@@ -1,0 +1,83 @@
+"""Negative sampling, CTR counts and click simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import sampling as S
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(10, 5000),
+    ratio=st.floats(0.05, 0.95),
+)
+def test_pos_neg_counts_property(n, ratio):
+    """Counts sum to n, both positive, and honor the ratio within rounding."""
+    n_pos, n_neg = S.pos_neg_counts(n, ratio)
+    assert n_pos + n_neg == n
+    assert n_pos >= 1 and n_neg >= 1
+    if n > 100:
+        assert n_pos / n_neg == pytest.approx(ratio, rel=0.15)
+
+
+def test_pos_neg_counts_rejects_bad_input():
+    with pytest.raises(ValueError):
+        S.pos_neg_counts(1, 0.3)
+    with pytest.raises(ValueError):
+        S.pos_neg_counts(100, 0.0)
+
+
+def test_positive_sampling_prefers_high_affinity():
+    rng = np.random.default_rng(0)
+    pool_users = np.arange(50)
+    pool_items = np.arange(40)
+    # items with higher index have higher affinity
+    users, items = S.sample_positive_pairs(
+        rng, pool_users, pool_items,
+        lambda u, i: i.astype(float), 500, candidates=10, temperature=0.1,
+    )
+    assert len(users) == len(items) == 500
+    random_mean = pool_items.mean()
+    assert items.mean() > random_mean + 5
+
+
+def test_positive_sampling_requires_positive_count():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        S.sample_positive_pairs(rng, np.arange(5), np.arange(5),
+                                lambda u, i: np.zeros(len(u)), 0)
+
+
+def test_negative_sampling_avoids_clicked_pairs():
+    rng = np.random.default_rng(1)
+    users_pool = np.arange(10)
+    items_pool = np.arange(10)
+    clicked = {(u, i) for u in range(10) for i in range(5)}  # half forbidden
+    users, items = S.sample_negative_pairs(rng, users_pool, items_pool,
+                                           clicked, 200)
+    assert len(users) == 200
+    assert all((u, i) not in clicked for u, i in zip(users, items))
+
+
+def test_negative_sampling_fails_when_everything_clicked():
+    rng = np.random.default_rng(2)
+    pool = np.arange(3)
+    clicked = {(u, i) for u in range(3) for i in range(3)}
+    with pytest.raises(RuntimeError):
+        S.sample_negative_pairs(rng, pool, pool, clicked, 5, max_rounds=5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_negative_sampling_stays_in_pool(seed):
+    rng = np.random.default_rng(seed)
+    users_pool = np.array([3, 7, 11])
+    items_pool = np.array([2, 5])
+    users, items = S.sample_negative_pairs(rng, users_pool, items_pool,
+                                           set(), 50)
+    assert set(users).issubset(set(users_pool.tolist()))
+    assert set(items).issubset(set(items_pool.tolist()))

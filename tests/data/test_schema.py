@@ -1,0 +1,104 @@
+"""InteractionTable / Domain / MultiDomainDataset invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Domain, InteractionTable, MultiDomainDataset
+
+
+def make_table(n_pos=4, n_neg=8):
+    return InteractionTable.from_pairs(
+        (np.arange(n_pos), np.arange(n_pos)),
+        (np.arange(n_neg), np.arange(n_neg) + 1),
+    )
+
+
+def test_from_pairs_labels():
+    table = make_table(3, 5)
+    assert len(table) == 8
+    assert table.num_positive == 3
+    assert table.num_negative == 5
+    assert table.ctr_ratio == pytest.approx(0.6)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        InteractionTable(np.zeros(2, dtype=np.int64),
+                         np.zeros(3, dtype=np.int64), np.zeros(2))
+
+
+def test_ctr_ratio_infinite_without_negatives():
+    table = InteractionTable.from_pairs(
+        (np.array([1]), np.array([2])), (np.array([], dtype=int), np.array([], dtype=int))
+    )
+    assert table.ctr_ratio == float("inf")
+
+
+def test_subset_and_shuffled_preserve_rows():
+    table = make_table()
+    subset = table.subset(np.array([0, 2]))
+    assert len(subset) == 2
+    shuffled = table.shuffled(np.random.default_rng(0))
+    assert len(shuffled) == len(table)
+    assert shuffled.num_positive == table.num_positive
+    pairs = set(zip(table.users.tolist(), table.items.tolist(), table.labels.tolist()))
+    pairs_shuffled = set(zip(shuffled.users.tolist(), shuffled.items.tolist(), shuffled.labels.tolist()))
+    assert pairs == pairs_shuffled
+
+
+def test_concatenate_including_empty():
+    table = make_table()
+    combined = InteractionTable.concatenate([table, table])
+    assert len(combined) == 2 * len(table)
+    empty = InteractionTable.concatenate([])
+    assert len(empty) == 0
+
+
+def make_domain(index=0):
+    return Domain(
+        name=f"D{index}", index=index,
+        train=make_table(6, 10), val=make_table(2, 3), test=make_table(2, 3),
+    )
+
+
+def test_domain_aggregates():
+    domain = make_domain()
+    assert domain.num_samples == 16 + 5 + 5
+    assert domain.ctr_ratio == pytest.approx(10 / 16)
+
+
+def test_dataset_indexing_and_iteration():
+    ds = MultiDomainDataset("toy", [make_domain(0), make_domain(1)], 20, 20)
+    assert ds.n_domains == 2
+    assert len(ds) == 2
+    assert [d.index for d in ds] == [0, 1]
+    assert ds.domain(1).name == "D1"
+    assert ds.total_interactions("train") == 32
+    assert ds.domain_sizes("val").tolist() == [5, 5]
+
+
+def test_dataset_rejects_bad_indices():
+    with pytest.raises(ValueError):
+        MultiDomainDataset("toy", [make_domain(1)], 20, 20)
+
+
+def test_fixed_feature_accessors():
+    ds = MultiDomainDataset("toy", [make_domain(0)], 20, 20)
+    assert not ds.has_fixed_features
+    with pytest.raises(ValueError):
+        ds.feature_dims
+    ds2 = MultiDomainDataset(
+        "toy2", [make_domain(0)], 20, 20,
+        user_features=np.zeros((20, 5)), item_features=np.zeros((20, 7)),
+    )
+    assert ds2.has_fixed_features
+    assert ds2.feature_dims == (5, 7)
+
+
+def test_active_users_items_counts_unique():
+    ds = MultiDomainDataset("toy", [make_domain(0)], 20, 20)
+    assert ds.active_users() == len(np.unique(np.concatenate([
+        ds.domain(0).train.users, ds.domain(0).val.users, ds.domain(0).test.users
+    ])))

@@ -1,0 +1,72 @@
+"""Stratified splitting invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionTable, split_table
+
+
+def make_table(n_pos, n_neg, seed=0):
+    rng = np.random.default_rng(seed)
+    return InteractionTable.from_pairs(
+        (rng.integers(0, 50, n_pos), rng.integers(0, 50, n_pos)),
+        (rng.integers(0, 50, n_neg), rng.integers(0, 50, n_neg)),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_pos=st.integers(3, 200),
+    n_neg=st.integers(3, 400),
+    seed=st.integers(0, 1000),
+)
+def test_split_properties(n_pos, n_neg, seed):
+    """Property: splits are disjoint, exhaustive and every split keeps both
+    classes."""
+    table = make_table(n_pos, n_neg, seed)
+    rng = np.random.default_rng(seed)
+    train, val, test = split_table(table, rng)
+    assert len(train) + len(val) + len(test) == len(table)
+    for part in (train, val, test):
+        assert part.num_positive >= 1
+        assert part.num_negative >= 1
+    # exhaustive partition as multisets of rows
+    def rows(t):
+        return sorted(zip(t.users.tolist(), t.items.tolist(), t.labels.tolist()))
+    assert rows(InteractionTable.concatenate([train, val, test])) == rows(table)
+
+
+def test_split_fractions_respected():
+    table = make_table(300, 700)
+    train, val, test = split_table(table, np.random.default_rng(0),
+                                   train_frac=0.7, val_frac=0.15)
+    assert len(train) / len(table) == pytest.approx(0.7, abs=0.02)
+    assert len(val) / len(table) == pytest.approx(0.15, abs=0.02)
+
+
+def test_split_rejects_too_few_per_class():
+    table = make_table(2, 100)
+    with pytest.raises(ValueError):
+        split_table(table, np.random.default_rng(0))
+
+
+def test_split_rejects_bad_fractions():
+    table = make_table(10, 10)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        split_table(table, rng, train_frac=0.9, val_frac=0.2)
+    with pytest.raises(ValueError):
+        split_table(table, rng, train_frac=0.0, val_frac=0.1)
+
+
+def test_split_deterministic_under_seed():
+    table = make_table(50, 100)
+    a = split_table(table, np.random.default_rng(42))
+    b = split_table(table, np.random.default_rng(42))
+    for part_a, part_b in zip(a, b):
+        np.testing.assert_array_equal(part_a.users, part_b.users)
+        np.testing.assert_array_equal(part_a.items, part_b.items)

@@ -1,0 +1,39 @@
+"""Dataset statistics tables (Tables I-IV rendering)."""
+
+from __future__ import annotations
+
+from repro.data import (
+    overall_stats_row,
+    overall_stats_table,
+    per_domain_stats_table,
+)
+from tests.conftest import make_tiny_dataset
+
+
+def test_overall_row_consistency():
+    ds = make_tiny_dataset()
+    row = overall_stats_row(ds)
+    assert row["Dataset"] == ds.name
+    assert row["#Train"] == ds.total_interactions("train")
+    assert row["#Val"] == ds.total_interactions("val")
+    assert row["#Test"] == ds.total_interactions("test")
+
+
+def test_overall_table_contains_all_datasets():
+    a = make_tiny_dataset(seed=1)
+    b = make_tiny_dataset(seed=2, feature_mode="fixed")
+    text = overall_stats_table([a, b])
+    assert a.name in text and b.name in text
+    assert "#Domain" in text
+
+
+def test_per_domain_table_shares_sum_to_100():
+    ds = make_tiny_dataset()
+    text = per_domain_stats_table(ds)
+    shares = [
+        float(line.split("|")[2].strip().rstrip("%"))
+        for line in text.splitlines()[3:]
+    ]
+    assert abs(sum(shares) - 100.0) < 0.2
+    for domain in ds.domains:
+        assert domain.name in text

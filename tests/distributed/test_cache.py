@@ -1,0 +1,74 @@
+"""Embedding cache (Figure 7): static/dynamic semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import EmbeddingCache, ParameterServer
+
+
+def make_ps():
+    return ParameterServer(
+        {"emb.weight": np.arange(12.0).reshape(4, 3)},
+        embedding_names=["emb.weight"],
+        outer_lr=1.0,
+    )
+
+
+def test_miss_then_hit():
+    ps = make_ps()
+    cache = EmbeddingCache(ps, "emb.weight")
+    rows = cache.fetch([0, 1])
+    assert cache.misses == 2 and cache.hits == 0
+    np.testing.assert_allclose(rows, [[0, 1, 2], [3, 4, 5]])
+    cache.fetch([0, 1])
+    assert cache.hits == 2
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_dynamic_serves_local_updates_static_keeps_reference():
+    ps = make_ps()
+    cache = EmbeddingCache(ps, "emb.weight")
+    cache.fetch([2])
+    cache.update([2], [np.array([9.0, 9.0, 9.0])])
+    np.testing.assert_allclose(cache.fetch([2]), [[9, 9, 9]])
+    # delta is measured against the static reference
+    deltas = cache.deltas()
+    np.testing.assert_allclose(deltas[2], [3.0, 2.0, 1.0])
+    assert cache.touched_rows() == [2]
+
+
+def test_update_before_fetch_rejected():
+    cache = EmbeddingCache(make_ps(), "emb.weight")
+    with pytest.raises(KeyError):
+        cache.update([0], [np.zeros(3)])
+
+
+def test_miss_pulls_latest_from_ps():
+    """The read-through on a miss sees PS updates made mid-epoch — the
+    staleness bound of the design."""
+    ps = make_ps()
+    cache = EmbeddingCache(ps, "emb.weight")
+    ps.push_delta({}, {"emb.weight": {3: np.array([1.0, 1.0, 1.0])}})
+    rows = cache.fetch([3])
+    np.testing.assert_allclose(rows, [[10, 11, 12]])
+
+
+def test_clear_resets_for_next_epoch():
+    ps = make_ps()
+    cache = EmbeddingCache(ps, "emb.weight")
+    cache.fetch([0])
+    cache.clear()
+    assert cache.deltas() == {}
+    cache.fetch([0])
+    assert cache.misses == 2  # counts persist; caches were emptied
+
+
+def test_duplicate_ids_in_one_fetch():
+    ps = make_ps()
+    cache = EmbeddingCache(ps, "emb.weight")
+    rows = cache.fetch([1, 1, 1])
+    assert rows.shape == (3, 3)
+    assert cache.misses == 1
+    assert cache.hits == 2

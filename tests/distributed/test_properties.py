@@ -1,0 +1,86 @@
+"""Property-based tests for the PS and embedding cache.
+
+Hypothesis drives random operation sequences; the invariants are the ones
+the Section IV-E design depends on:
+
+* cache ``deltas`` always equals (last local value − value at first pull);
+* applying all deltas with β=1 on an otherwise idle PS reproduces the
+  worker's local view exactly;
+* PS interpolation is linear in β.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import EmbeddingCache, ParameterServer
+
+N_ROWS, DIM = 6, 3
+
+
+def fresh_ps(outer_lr=1.0):
+    return ParameterServer(
+        {"emb": np.arange(float(N_ROWS * DIM)).reshape(N_ROWS, DIM)},
+        embedding_names=["emb"],
+        outer_lr=outer_lr,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, N_ROWS - 1), st.floats(-2.0, 2.0)),
+        min_size=1, max_size=20,
+    )
+)
+def test_cache_delta_invariant(ops):
+    """After any fetch/update sequence, delta = dynamic − static."""
+    ps = fresh_ps()
+    cache = EmbeddingCache(ps, "emb")
+    local = {}
+    initial = {}
+    for row, bump in ops:
+        value = cache.fetch([row])[0]
+        if row not in initial:
+            initial[row] = value.copy()
+        updated = value + bump
+        cache.update([row], [updated])
+        local[row] = updated.copy()
+    deltas = cache.deltas()
+    assert set(deltas) == set(local)
+    for row, delta in deltas.items():
+        np.testing.assert_allclose(delta, local[row] - initial[row], atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, N_ROWS - 1), st.floats(-1.0, 1.0)),
+        min_size=1, max_size=15,
+    )
+)
+def test_push_with_beta_one_reproduces_local_view(ops):
+    """β=1 push makes the PS equal to the worker's final dynamic view."""
+    ps = fresh_ps(outer_lr=1.0)
+    cache = EmbeddingCache(ps, "emb")
+    final = {}
+    for row, bump in ops:
+        value = cache.fetch([row])[0]
+        cache.update([row], [value + bump])
+        final[row] = value + bump
+    ps.push_delta({}, {"emb": cache.deltas()})
+    table = ps.full_state()["emb"]
+    for row, value in final.items():
+        np.testing.assert_allclose(table[row], value, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(beta=st.floats(0.05, 1.0), bump=st.floats(-3.0, 3.0))
+def test_ps_interpolation_linear_in_beta(beta, bump):
+    ps = fresh_ps(outer_lr=beta)
+    before = ps.full_state()["emb"][2].copy()
+    ps.push_delta({}, {"emb": {2: np.full(DIM, bump)}})
+    after = ps.full_state()["emb"][2]
+    np.testing.assert_allclose(after, before + beta * bump, atol=1e-12)

@@ -1,0 +1,68 @@
+"""Experiment runner and comparison results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TrainConfig
+from repro.experiments import (
+    ComparisonResult,
+    MethodSpec,
+    run_comparison,
+    run_comparison_averaged,
+    run_method,
+)
+from tests.conftest import make_tiny_dataset
+
+FAST = TrainConfig(epochs=1, inner_steps=2, batch_size=32, sample_k=1,
+                   dr_steps=1, finetune_steps=2)
+
+
+def test_run_method_end_to_end(tiny_dataset):
+    spec = MethodSpec("MLP", model="mlp", framework="alternate")
+    report = run_method(spec, tiny_dataset, config=FAST, seed=0)
+    assert report.method == "MLP"
+    assert len(report.per_domain) == tiny_dataset.n_domains
+
+
+def test_config_overrides_applied(tiny_dataset):
+    spec = MethodSpec("MLP", config_overrides={"epochs": 1})
+    report = run_method(spec, tiny_dataset, config=FAST.updated(epochs=2), seed=0)
+    assert report is not None  # smoke: overrides must not crash
+
+
+def test_run_comparison_ranks(tiny_dataset):
+    specs = [
+        MethodSpec("A", model="mlp", framework="alternate"),
+        MethodSpec("B", model="mlp", framework="separate"),
+    ]
+    result = run_comparison(specs, tiny_dataset, config=FAST, seed=0)
+    assert set(result.reports) == {"A", "B"}
+    ranks = result.rank
+    assert sum(ranks.values()) == pytest.approx(
+        tiny_dataset.n_domains and 3.0
+    )  # 1+2 per domain averaged
+    assert result.best_method() in {"A", "B"}
+    rendered = result.render()
+    assert "A" in rendered and "RANK" in rendered
+
+
+def test_run_comparison_averaged_over_seeds():
+    specs = [MethodSpec("MLP", model="mlp", framework="alternate")]
+    result = run_comparison_averaged(
+        specs, lambda seed: make_tiny_dataset(seed=seed), seeds=(1, 2),
+        config=FAST,
+    )
+    assert isinstance(result, ComparisonResult)
+    assert len(result.reports["MLP"].per_domain) == 3
+    with pytest.raises(ValueError):
+        run_comparison_averaged(specs, make_tiny_dataset, seeds=())
+
+
+def test_summary_rows_order_and_types(tiny_dataset):
+    specs = [MethodSpec("Only", model="mlp")]
+    result = run_comparison(specs, tiny_dataset, config=FAST, seed=0)
+    rows = result.summary_rows()
+    assert rows[0][0] == "Only"
+    assert isinstance(rows[0][1], float)
+    assert rows[0][2] == 1.0

@@ -1,0 +1,94 @@
+"""Table/figure experiment modules on deliberately tiny configurations.
+
+The full-scale versions live in ``benchmarks/``; these tests exercise the
+same code paths (run + render) in seconds so regressions surface in the
+unit suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TrainConfig
+from repro.experiments import (
+    render_fig8,
+    render_fig9,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    render_table9,
+    render_table10,
+    run_fig8,
+    run_fig9,
+    run_industry,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table10,
+)
+
+TINY = TrainConfig(epochs=1, inner_steps=2, batch_size=64, sample_k=1,
+                   dr_steps=1, finetune_steps=2, dn_rounds=1)
+
+
+def test_table5_tiny_run_and_render():
+    results = run_table5(
+        scale=0.25, seeds=(0,), config=TINY,
+        datasets=("taobao10_sim",),
+    )
+    text = render_table5(results)
+    assert "MLP+MAMDR" in text and "taobao10 RANK" in text
+
+
+def test_table6_and_7_tiny():
+    results = run_table6(scale=0.25, seeds=(0,), config=TINY,
+                         datasets=("taobao10_sim",))
+    assert "w/o DN+DR" in render_table6(results)
+    result7 = run_table7(scale=0.25, seeds=(0,), config=TINY)
+    text = render_table7(result7)
+    assert "Prime Pantry" in text
+
+
+def test_industry_tiny():
+    dataset, result = run_industry(n_domains=6, total_samples=1500,
+                                   seeds=(0,), config=TINY)
+    assert set(result.mean_auc) == {
+        "RAW", "MMOE", "CGC", "PLE", "RAW+Separate", "RAW+DN", "RAW+MAMDR",
+    }
+    assert "RAW+MAMDR" in render_table8(result)
+    table9 = render_table9(dataset, result, top=3)
+    assert "Top 3" in table9 and "Top 4" not in table9
+
+
+def test_table10_tiny():
+    results = run_table10(
+        scale=0.25, seeds=(0,), config=TINY,
+        models=("mlp",),
+        frameworks=(("Alternate", "alternate"), ("MAMDR (DN+DR)", "mamdr")),
+    )
+    text = render_table10(results)
+    assert "Alternate" in text and "mlp" in text
+
+
+def test_fig8_tiny():
+    series = run_fig8(scale=0.25, seeds=(0,), config=TINY,
+                      sample_numbers=(0, 1))
+    assert set(series) == {0, 1}
+    assert "k=1" in render_fig8(series)
+
+
+def test_fig9_tiny():
+    grid = run_fig9(scale=0.25, seeds=(0,), config=TINY,
+                    inner_lrs=(1e-2,), outer_lrs=(1.0, 0.5))
+    assert set(grid) == {(1e-2, 1.0), (1e-2, 0.5)}
+    text = render_fig9(grid)
+    assert "alpha" in text
+
+
+def test_fig_renders_are_grids():
+    grid = {(0.1, 1.0): 0.7, (0.1, 0.5): 0.72, (0.01, 1.0): 0.71,
+            (0.01, 0.5): 0.73}
+    text = render_fig9(grid)
+    lines = text.splitlines()
+    assert len(lines) == 5  # title, header, rule, two alpha rows

@@ -1,0 +1,48 @@
+"""Grid-search utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TrainConfig
+from repro.experiments import MethodSpec
+from repro.experiments.tuning import GridSearchResult, grid_search
+
+
+def test_grid_covers_product(tiny_dataset):
+    spec = MethodSpec("MLP", model="mlp", framework="alternate")
+    base = TrainConfig(epochs=1, inner_steps=2, batch_size=32)
+    result = grid_search(
+        spec, tiny_dataset,
+        {"inner_lr": [1e-2, 1e-3], "outer_lr": [0.5, 0.1]},
+        base_config=base, seed=0,
+    )
+    assert len(result.cells) == 4
+    params_seen = {tuple(sorted(c["params"].items())) for c in result.cells}
+    assert len(params_seen) == 4
+    for cell in result.cells:
+        assert 0.0 <= cell["val_auc"] <= 1.0
+        assert 0.0 <= cell["test_auc"] <= 1.0
+
+
+def test_best_selected_on_validation(tiny_dataset):
+    spec = MethodSpec("MLP", model="mlp", framework="alternate")
+    base = TrainConfig(epochs=1, inner_steps=2, batch_size=32)
+    result = grid_search(spec, tiny_dataset, {"inner_lr": [1e-2, 1e-4]},
+                         base_config=base, seed=0)
+    best = result.best
+    assert best["val_auc"] == max(c["val_auc"] for c in result.cells)
+
+
+def test_render_contains_cells(tiny_dataset):
+    spec = MethodSpec("MLP", model="mlp", framework="alternate")
+    base = TrainConfig(epochs=1, inner_steps=1, batch_size=32)
+    result = grid_search(spec, tiny_dataset, {"sample_k": [1]},
+                         base_config=base, seed=0)
+    text = result.render()
+    assert "sample_k=1" in text and "Val AUC" in text
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError):
+        GridSearchResult([])

@@ -1,0 +1,69 @@
+"""DomainModelBank semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import sample_batch
+from repro.frameworks import SingleModelBank, StateBank
+from repro.models import build_model
+from repro.nn.state import state_scale
+
+
+def batch_for(dataset, domain=0):
+    rng = np.random.default_rng(0)
+    return sample_batch(dataset.domain(domain).train, domain, 12, rng)
+
+
+def test_single_model_bank_scores(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    bank = SingleModelBank(model)
+    scores = bank.scores(batch_for(tiny_dataset))
+    assert scores.shape == (12,)
+    assert ((scores >= 0) & (scores <= 1)).all()
+
+
+def test_state_bank_swaps_states(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    base = model.state_dict()
+    zeroed = state_scale(base, 0.0)
+    bank = StateBank(model, {0: base, 1: zeroed})
+    batch0 = batch_for(tiny_dataset, 0)
+    scores0 = bank.scores(batch0)
+
+    from repro.data import Batch
+
+    batch_same_rows_domain1 = Batch(batch0.users, batch0.items,
+                                    batch0.labels, domain=1)
+    scores1 = bank.scores(batch_same_rows_domain1)
+    # domain 1 uses zero weights: all logits 0 -> probability 0.5
+    np.testing.assert_allclose(scores1, 0.5)
+    assert not np.allclose(scores0, scores1)
+
+
+def test_state_bank_default_state_fallback(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    base = model.state_dict()
+    bank = StateBank(model, {0: base}, default_state=state_scale(base, 0.0))
+    from repro.data import Batch
+
+    batch = batch_for(tiny_dataset, 0)
+    unseen = Batch(batch.users, batch.items, batch.labels, domain=2)
+    np.testing.assert_allclose(bank.scores(unseen), 0.5)
+
+
+def test_state_bank_missing_domain_raises(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    bank = StateBank(model, {0: model.state_dict()})
+    with pytest.raises(KeyError):
+        bank.state_for(5)
+
+
+def test_state_bank_snapshots_are_copies(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    state = model.state_dict()
+    bank = StateBank(model, {0: state})
+    state[next(iter(state))][...] = 1e9
+    stored = bank.state_for(0)
+    assert not np.any(stored[next(iter(stored))] == 1e9)

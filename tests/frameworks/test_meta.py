@@ -1,0 +1,62 @@
+"""Meta-learning framework specifics: MAML splits, Reptile interpolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionTable
+from repro.frameworks import MAML, Reptile, MLDG, support_query_split
+from repro.metrics import evaluate_bank
+from repro.models import build_model
+
+
+def test_support_query_split_disjoint_exhaustive():
+    table = InteractionTable(
+        np.arange(20, dtype=np.int64),
+        np.arange(20, dtype=np.int64),
+        (np.arange(20) % 2).astype(float),
+    )
+    support, query = support_query_split(table, np.random.default_rng(0))
+    assert len(support) + len(query) == 20
+    assert set(support.users.tolist()).isdisjoint(set(query.users.tolist()))
+
+
+def test_support_query_split_fraction():
+    table = InteractionTable(
+        np.arange(100, dtype=np.int64),
+        np.arange(100, dtype=np.int64),
+        np.ones(100),
+    )
+    support, query = support_query_split(table, np.random.default_rng(0),
+                                         support_frac=0.25)
+    assert len(support) == 25
+    with pytest.raises(ValueError):
+        support_query_split(table.subset(np.array([0])), np.random.default_rng(0))
+
+
+def test_maml_returns_per_domain_states(tiny_dataset, fast_config):
+    model = build_model("mlp", tiny_dataset, seed=1)
+    bank = MAML(adapt_steps=1).fit(model, tiny_dataset, fast_config, seed=2)
+    assert set(bank.domain_states) == set(range(tiny_dataset.n_domains))
+    report = evaluate_bank(bank, tiny_dataset)
+    assert 0.0 <= report.mean_auc <= 1.0
+
+
+def test_reptile_moves_toward_adapted_state(tiny_dataset, fast_config):
+    model = build_model("mlp", tiny_dataset, seed=1)
+    init = model.state_dict()
+    Reptile().fit(model, tiny_dataset, fast_config, seed=2)
+    moved = sum(
+        float(np.abs(model.state_dict()[k] - init[k]).sum()) for k in init
+    )
+    assert moved > 0.0
+
+
+def test_mldg_needs_two_domains(fast_config):
+    from tests.conftest import make_tiny_dataset
+
+    single = make_tiny_dataset(n_domains=1)
+    model = build_model("mlp", single, seed=1)
+    with pytest.raises(ValueError):
+        MLDG().fit(model, single, fast_config, seed=2)

@@ -1,0 +1,52 @@
+"""Group AUC semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import auc_score, gauc_score
+
+
+def test_single_user_equals_auc():
+    rng = np.random.default_rng(0)
+    labels = (rng.random(50) > 0.5).astype(float)
+    scores = rng.normal(size=50) + labels
+    users = np.zeros(50, dtype=int)
+    assert gauc_score(users, labels, scores) == pytest.approx(
+        auc_score(labels, scores)
+    )
+
+
+def test_weighted_average_over_users():
+    users = np.array([0] * 4 + [1] * 2)
+    labels = np.array([1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+    scores = np.array([2.0, 1.0, 3.0, 0.0, 0.0, 1.0])
+    # user 0: perfect ranking (AUC 1); user 1: inverted (AUC 0)
+    expected = (4 * 1.0 + 2 * 0.0) / 6
+    assert gauc_score(users, labels, scores) == pytest.approx(expected)
+
+
+def test_single_class_users_skipped():
+    users = np.array([0, 0, 1, 1])
+    labels = np.array([1.0, 1.0, 1.0, 0.0])  # user 0 all-positive
+    scores = np.array([0.1, 0.9, 0.8, 0.2])
+    assert gauc_score(users, labels, scores) == pytest.approx(1.0)
+
+
+def test_no_valid_user_raises():
+    with pytest.raises(ValueError):
+        gauc_score(np.array([0, 1]), np.array([1.0, 0.0]), np.array([0.5, 0.5]))
+
+
+def test_misaligned_inputs_rejected():
+    with pytest.raises(ValueError):
+        gauc_score(np.zeros(3), np.zeros(2), np.zeros(3))
+
+
+def test_unsorted_user_ids_grouped_correctly():
+    users = np.array([5, 1, 5, 1])
+    labels = np.array([1.0, 0.0, 0.0, 1.0])
+    scores = np.array([0.9, 0.1, 0.2, 0.8])
+    # both users rank their positive above their negative -> GAUC 1
+    assert gauc_score(users, labels, scores) == pytest.approx(1.0)

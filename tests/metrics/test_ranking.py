@@ -1,0 +1,58 @@
+"""The average-RANK metric of Table V."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import average_rank
+
+
+def test_basic_ranks():
+    data = {
+        "good": {"d1": 0.9, "d2": 0.9},
+        "mid": {"d1": 0.7, "d2": 0.7},
+        "bad": {"d1": 0.5, "d2": 0.5},
+    }
+    ranks = average_rank(data)
+    assert ranks == {"good": 1.0, "mid": 2.0, "bad": 3.0}
+
+
+def test_mixed_ranks_average():
+    data = {
+        "a": {"d1": 0.9, "d2": 0.1},
+        "b": {"d1": 0.1, "d2": 0.9},
+    }
+    ranks = average_rank(data)
+    assert ranks["a"] == pytest.approx(1.5)
+    assert ranks["b"] == pytest.approx(1.5)
+
+
+def test_ties_get_midranks():
+    data = {
+        "a": {"d1": 0.8},
+        "b": {"d1": 0.8},
+        "c": {"d1": 0.2},
+    }
+    ranks = average_rank(data)
+    assert ranks["a"] == pytest.approx(1.5)
+    assert ranks["b"] == pytest.approx(1.5)
+    assert ranks["c"] == pytest.approx(3.0)
+
+
+def test_rank_sum_invariant():
+    """Ranks over m methods always sum to m(m+1)/2 per domain."""
+    data = {
+        "a": {"d1": 0.3, "d2": 0.6, "d3": 0.6},
+        "b": {"d1": 0.9, "d2": 0.6, "d3": 0.1},
+        "c": {"d1": 0.3, "d2": 0.2, "d3": 0.9},
+        "d": {"d1": 0.5, "d2": 0.8, "d3": 0.9},
+    }
+    ranks = average_rank(data)
+    assert sum(ranks.values()) == pytest.approx(4 * 5 / 2)
+
+
+def test_domain_mismatch_rejected():
+    with pytest.raises(ValueError):
+        average_rank({"a": {"d1": 0.5}, "b": {"d2": 0.5}})
+    with pytest.raises(ValueError):
+        average_rank({})

@@ -1,0 +1,33 @@
+"""Evaluation reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frameworks import SingleModelBank
+from repro.metrics import EvaluationReport, evaluate_bank
+from repro.models import build_model
+
+
+def test_report_fields(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    report = evaluate_bank(SingleModelBank(model), tiny_dataset,
+                           method="probe")
+    assert report.method == "probe"
+    assert report.dataset_name == tiny_dataset.name
+    assert set(report.per_domain) == {d.name for d in tiny_dataset.domains}
+    assert 0.0 <= report.mean_auc <= 1.0
+    assert "probe" in repr(report)
+
+
+def test_report_split_selection(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    val = evaluate_bank(SingleModelBank(model), tiny_dataset, split="val")
+    train = evaluate_bank(SingleModelBank(model), tiny_dataset, split="train")
+    # different splits -> generally different numbers (same model)
+    assert val.per_domain != train.per_domain or val.mean_auc == train.mean_auc
+
+
+def test_report_mean_consistency():
+    report = EvaluationReport("m", "d", {"a": 0.6, "b": 0.8})
+    assert report.mean_auc == pytest.approx(0.7)

@@ -1,0 +1,136 @@
+"""Architecture-specific behavior of each model in the zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import sample_batch
+from repro.models import (
+    MLP,
+    WDL,
+    AutoInt,
+    DeepFM,
+    NeurFM,
+    bi_interaction,
+    build_model,
+)
+from repro.models.autoint import InteractionAttention
+from repro.nn import Tensor, no_grad
+from repro.nn import functional as F
+
+
+def batch_for(dataset, domain=0, size=10):
+    rng = np.random.default_rng(1)
+    return sample_batch(dataset.domain(domain).train, domain, size, rng)
+
+
+def test_bi_interaction_matches_pairwise_sum():
+    """0.5((Σv)² − Σv²) equals the sum over field pairs of elementwise
+    products — the FM identity NeurFM/DeepFM rely on."""
+    rng = np.random.default_rng(0)
+    fields = [Tensor(rng.normal(size=(4, 6))) for _ in range(3)]
+    pooled = bi_interaction(fields).data
+    expected = np.zeros((4, 6))
+    for i in range(3):
+        for j in range(i + 1, 3):
+            expected += fields[i].data * fields[j].data
+    np.testing.assert_allclose(pooled, expected, atol=1e-12)
+
+
+def test_deepfm_fm_term_present(tiny_dataset):
+    """DeepFM differs from its deep part by the FM interaction: zeroing the
+    linear + deep components leaves the pure FM logit."""
+    model = build_model("deepfm", tiny_dataset, seed=0)
+    model.eval()
+    batch = batch_for(tiny_dataset)
+    for name, param in model.named_parameters():
+        if name.startswith(("linear.", "deep.")):
+            param.data = np.zeros_like(param.data)
+    with no_grad():
+        logits = model(batch).data
+        fields = model.encoder.fields(batch)
+        fm = bi_interaction(fields).sum(axis=-1).data
+    np.testing.assert_allclose(logits, fm, atol=1e-10)
+
+
+def test_wdl_is_sum_of_wide_and_deep(tiny_dataset):
+    model = build_model("wdl", tiny_dataset, seed=0)
+    model.eval()
+    batch = batch_for(tiny_dataset)
+    with no_grad():
+        full = model(batch).data.copy()
+    for name, param in model.named_parameters():
+        if name.startswith("wide."):
+            param.data = np.zeros_like(param.data)
+    with no_grad():
+        deep_only = model(batch).data
+    assert not np.allclose(full, deep_only)
+
+
+def test_autoint_attention_shape_and_rowsums():
+    rng = np.random.default_rng(0)
+    layer = InteractionAttention(dim=8, num_heads=2, rng=rng)
+    fields = Tensor(rng.normal(size=(3, 2, 8)))
+    out = layer(fields)
+    assert out.shape == (3, 2, 8)
+    assert (out.data >= 0).all()  # relu output
+    with pytest.raises(ValueError):
+        InteractionAttention(dim=7, num_heads=2, rng=rng)
+
+
+def test_autoint_stacking_layers(tiny_dataset):
+    deep = build_model("autoint", tiny_dataset, seed=0, num_layers=2)
+    batch = batch_for(tiny_dataset)
+    assert deep(batch).shape == (len(batch),)
+    assert len(list(deep.attention_layers)) == 2
+
+
+def test_mmoe_gates_are_softmax(tiny_dataset):
+    model = build_model("mmoe", tiny_dataset, seed=0)
+    batch = batch_for(tiny_dataset)
+    x = model.encoder.concat(batch)
+    with no_grad():
+        gate = F.softmax(model.gates[batch.domain](x), axis=-1).data
+    np.testing.assert_allclose(gate.sum(axis=-1), 1.0)
+    assert (gate >= 0).all()
+
+
+def test_ple_has_more_extraction_layers_than_cgc(tiny_dataset):
+    cgc = build_model("cgc", tiny_dataset, seed=0)
+    ple = build_model("ple", tiny_dataset, seed=0)
+    assert len(list(cgc.extraction_layers)) == 1
+    assert len(list(ple.extraction_layers)) == 2
+
+
+def test_star_initializes_to_shared_behavior(tiny_dataset):
+    """STAR's domain factors start at one/zero, so at init every domain
+    computes the same function up to PartitionedNorm and the prior."""
+    model = build_model("star", tiny_dataset, seed=0)
+    model.eval()
+    batch0 = batch_for(tiny_dataset, 0)
+    from repro.data import Batch
+
+    batch1 = Batch(batch0.users, batch0.items, batch0.labels, domain=1)
+    with no_grad():
+        np.testing.assert_allclose(model(batch0).data, model(batch1).data)
+
+
+def test_star_domain_prior_shifts_logits(tiny_dataset):
+    model = build_model("star", tiny_dataset, seed=0)
+    model.eval()
+    batch = batch_for(tiny_dataset, 0)
+    with no_grad():
+        before = model(batch).data.copy()
+    model.domain_prior.data = model.domain_prior.data + np.array([1.0, 0.0, 0.0])
+    with no_grad():
+        after = model(batch).data
+    np.testing.assert_allclose(after, before + 1.0)
+
+
+def test_mlp_depth_configurable(tiny_dataset):
+    shallow = build_model("mlp", tiny_dataset, seed=0, hidden_dims=(8,))
+    deep = build_model("mlp", tiny_dataset, seed=0, hidden_dims=(32, 16, 8))
+    assert deep.num_parameters() > shallow.num_parameters()
+    batch = batch_for(tiny_dataset)
+    assert shallow(batch).shape == deep(batch).shape

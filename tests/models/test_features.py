@@ -1,0 +1,80 @@
+"""Feature encoders: trainable vs fixed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import sample_batch
+from repro.models import (
+    FixedFeatureEncoder,
+    TrainableEmbeddingEncoder,
+    build_encoder,
+)
+from repro.nn import no_grad
+
+
+def batch_for(dataset):
+    rng = np.random.default_rng(0)
+    d = dataset.domain(0)
+    return sample_batch(d.train, 0, 8, rng)
+
+
+def test_build_encoder_picks_by_dataset(tiny_dataset, tiny_fixed_dataset):
+    rng = np.random.default_rng(0)
+    assert isinstance(
+        build_encoder(tiny_dataset, 8, rng), TrainableEmbeddingEncoder
+    )
+    assert isinstance(
+        build_encoder(tiny_fixed_dataset, 8, rng), FixedFeatureEncoder
+    )
+
+
+def test_field_shapes(tiny_dataset, tiny_fixed_dataset):
+    rng = np.random.default_rng(0)
+    for dataset in (tiny_dataset, tiny_fixed_dataset):
+        encoder = build_encoder(dataset, 8, rng)
+        batch = batch_for(dataset)
+        fields = encoder.fields(batch)
+        assert len(fields) == encoder.n_fields == 2
+        for field in fields:
+            assert field.shape == (len(batch), 8)
+        flat = encoder.concat(batch)
+        assert flat.shape == (len(batch), encoder.flat_dim)
+        assert encoder.flat_dim == 16
+
+
+def test_trainable_encoder_embeddings_receive_grads(tiny_dataset):
+    rng = np.random.default_rng(0)
+    encoder = build_encoder(tiny_dataset, 8, rng)
+    batch = batch_for(tiny_dataset)
+    out = encoder.concat(batch)
+    out.sum().backward()
+    assert encoder.user_embedding.weight.grad is not None
+    # only batch rows received gradient
+    touched = np.unique(batch.users)
+    grad = encoder.user_embedding.weight.grad
+    untouched = np.setdiff1d(np.arange(grad.shape[0]), touched)
+    assert np.abs(grad[untouched]).sum() == 0.0
+    assert np.abs(grad[touched]).sum() > 0.0
+
+
+def test_fixed_encoder_raw_features_frozen(tiny_fixed_dataset):
+    rng = np.random.default_rng(0)
+    encoder = build_encoder(tiny_fixed_dataset, 8, rng)
+    param_names = [n for n, _ in encoder.named_parameters()]
+    # only the projections are parameters; raw feature matrices are not
+    assert sorted(param_names) == [
+        "item_projection.bias", "item_projection.weight",
+        "user_projection.bias", "user_projection.weight",
+    ]
+
+
+def test_same_ids_same_fields(tiny_dataset):
+    rng = np.random.default_rng(0)
+    encoder = build_encoder(tiny_dataset, 8, rng)
+    batch = batch_for(tiny_dataset)
+    with no_grad():
+        a = encoder.concat(batch).data
+        b = encoder.concat(batch).data
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,137 @@
+"""Model zoo: shapes, gradient flow, domain isolation, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import sample_batch
+from repro.models import MODEL_REGISTRY, build_model
+from repro.nn import no_grad
+
+ALL_MODELS = sorted(MODEL_REGISTRY)
+MULTI_DOMAIN = [name for name, (_, flag) in MODEL_REGISTRY.items() if flag]
+
+
+def batch_for(dataset, domain=0, size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    d = dataset.domain(domain)
+    return sample_batch(d.train, domain, size, rng)
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+@pytest.mark.parametrize("fixture", ["tiny_dataset", "tiny_fixed_dataset"])
+def test_forward_shape_and_loss(name, fixture, request):
+    dataset = request.getfixturevalue(fixture)
+    model = build_model(name, dataset, seed=3)
+    batch = batch_for(dataset)
+    logits = model(batch)
+    assert logits.shape == (len(batch),)
+    loss = model.loss(batch)
+    assert np.isfinite(loss.item())
+    probs = model.predict(batch)
+    assert probs.shape == (len(batch),)
+    assert ((probs >= 0) & (probs <= 1)).all()
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_gradients_reach_trained_components(name, tiny_dataset):
+    model = build_model(name, tiny_dataset, seed=3)
+    batch = batch_for(tiny_dataset)
+    loss = model.loss(batch)
+    model.zero_grad()
+    loss.backward()
+    grads = [p for p in model.parameters() if p.grad is not None]
+    assert grads, "no gradients at all"
+    total = sum(float(np.abs(p.grad).sum()) for p in grads)
+    assert total > 0.0
+
+
+@pytest.mark.parametrize("name", ["shared_bottom", "mmoe", "cgc", "ple"])
+def test_domain_specific_components_isolated(name, tiny_dataset):
+    """Training on domain 0 must not send gradient to domain 1's tower."""
+    model = build_model(name, tiny_dataset, seed=3)
+    batch = batch_for(tiny_dataset, domain=0)
+    loss = model.loss(batch)
+    model.zero_grad()
+    loss.backward()
+    grads = {
+        pname: param.grad
+        for pname, param in model.named_parameters()
+        if param.grad is not None
+    }
+    tower_names = [n for n in grads if "towers.1" in n or "towers.2" in n]
+    assert not tower_names, f"other domains' towers got grads: {tower_names}"
+    assert any("towers.0" in n for n in grads)
+
+
+def test_star_domain_slices_isolated(tiny_dataset):
+    model = build_model("star", tiny_dataset, seed=3)
+    batch = batch_for(tiny_dataset, domain=0)
+    loss = model.loss(batch)
+    model.zero_grad()
+    loss.backward()
+    for pname, param in model.named_parameters():
+        if "weight_domain" in pname and param.grad is not None:
+            assert np.abs(param.grad[0]).sum() > 0
+            assert np.abs(param.grad[1]).sum() == 0
+
+
+def test_multi_domain_models_distinguish_domains(tiny_dataset):
+    """After perturbing one domain's tower, only that domain's scores move."""
+    model = build_model("shared_bottom", tiny_dataset, seed=3)
+    model.eval()  # freeze dropout so forwards are comparable
+    batch0 = batch_for(tiny_dataset, domain=0)
+    with no_grad():
+        before = model(batch0).data.copy()
+    for pname, param in model.named_parameters():
+        if "towers.1" in pname:
+            param.data = param.data + 1.0
+    with no_grad():
+        after = model(batch0).data
+    np.testing.assert_allclose(before, after)
+
+
+def test_single_domain_models_ignore_domain_id(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=3)
+    model.eval()
+    batch = batch_for(tiny_dataset, domain=0)
+    from repro.data import Batch
+
+    moved = Batch(batch.users, batch.items, batch.labels, domain=2)
+    with no_grad():
+        np.testing.assert_allclose(model(batch).data, model(moved).data)
+
+
+def test_dropout_only_active_in_training(tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=3, dropout_rate=0.5)
+    batch = batch_for(tiny_dataset)
+    model.eval()
+    with no_grad():
+        a = model(batch).data
+        b = model(batch).data
+    np.testing.assert_allclose(a, b)
+
+
+def test_build_model_registry_errors(tiny_dataset):
+    with pytest.raises(ValueError):
+        build_model("transformer", tiny_dataset)
+
+
+def test_build_model_deterministic(tiny_dataset):
+    a = build_model("deepfm", tiny_dataset, seed=11)
+    b = build_model("deepfm", tiny_dataset, seed=11)
+    for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+    c = build_model("deepfm", tiny_dataset, seed=12)
+    params_c = list(c.parameters())
+    assert any(
+        not np.array_equal(pa.data, pc.data)
+        for pa, pc in zip(a.parameters(), params_c)
+    )
+
+
+def test_raw_is_alias_for_mlp(tiny_dataset):
+    from repro.models import MLP
+
+    assert isinstance(build_model("raw", tiny_dataset), MLP)

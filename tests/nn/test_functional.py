@@ -1,0 +1,79 @@
+"""Functional ops: numerical semantics beyond gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def test_softmax_rows_sum_to_one():
+    rng = np.random.default_rng(0)
+    out = F.softmax(Tensor(rng.normal(size=(4, 7)) * 10), axis=-1).data
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+    assert (out >= 0).all()
+
+
+def test_softmax_stable_for_huge_logits():
+    out = F.softmax(Tensor(np.array([[1000.0, 0.0], [0.0, -1000.0]]))).data
+    assert np.isfinite(out).all()
+    np.testing.assert_allclose(out[0], [1.0, 0.0], atol=1e-12)
+
+
+def test_bce_matches_reference():
+    rng = np.random.default_rng(1)
+    logits = rng.normal(size=20)
+    labels = (rng.random(20) > 0.4).astype(float)
+    ours = F.bce_with_logits(Tensor(logits), labels).item()
+    probs = 1.0 / (1.0 + np.exp(-logits))
+    reference = -(labels * np.log(probs) + (1 - labels) * np.log(1 - probs)).mean()
+    assert ours == pytest.approx(reference, rel=1e-10)
+
+
+def test_bce_finite_for_extreme_logits():
+    logits = Tensor(np.array([1000.0, -1000.0]))
+    labels = np.array([0.0, 1.0])
+    loss = F.bce_with_logits(logits, labels).item()
+    assert np.isfinite(loss)
+    assert loss == pytest.approx(1000.0)
+
+
+def test_concat_and_stack_shapes():
+    a = Tensor(np.ones((2, 3)))
+    b = Tensor(np.zeros((2, 2)))
+    out = F.concat([a, b], axis=1)
+    assert out.shape == (2, 5)
+    stacked = F.stack([a, a], axis=1)
+    assert stacked.shape == (2, 2, 3)
+
+
+def test_embedding_rows():
+    weight = Tensor(np.arange(12.0).reshape(4, 3))
+    out = F.embedding(weight, np.array([3, 0]))
+    np.testing.assert_allclose(out.data, [[9, 10, 11], [0, 1, 2]])
+
+
+def test_dropout_disabled_paths():
+    rng = np.random.default_rng(0)
+    x = Tensor(np.ones(50))
+    assert F.dropout(x, 0.0, rng) is x
+    assert F.dropout(x, 0.5, rng, training=False) is x
+    with pytest.raises(ValueError):
+        F.dropout(x, 1.5, rng)
+
+
+def test_l2_penalty():
+    a = Tensor(np.array([3.0, 4.0]))
+    assert F.l2_penalty([a]).item() == pytest.approx(25.0)
+    with pytest.raises(ValueError):
+        F.l2_penalty([])
+
+
+def test_linear_with_and_without_bias():
+    x = Tensor(np.ones((2, 3)))
+    w = Tensor(np.ones((3, 4)))
+    b = Tensor(np.ones(4))
+    np.testing.assert_allclose(F.linear(x, w).data, 3.0)
+    np.testing.assert_allclose(F.linear(x, w, b).data, 4.0)

@@ -1,0 +1,220 @@
+"""Finite-difference gradient checks for every autodiff primitive.
+
+Each check perturbs the input elementwise and compares the analytic
+gradient of a scalar loss against central differences.  Hypothesis drives
+random shapes and values for the core ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, functional as F
+
+EPS = 1e-6
+TOL = 1e-6
+
+
+def numeric_grad(fn, x, eps=EPS):
+    """Central finite differences of scalar-valued fn at x."""
+    grad = np.zeros_like(x)
+    flat = grad.ravel()
+    x_flat = x.ravel()
+    for i in range(x.size):
+        original = x_flat[i]
+        x_flat[i] = original + eps
+        up = fn(x)
+        x_flat[i] = original - eps
+        down = fn(x)
+        x_flat[i] = original
+        flat[i] = (up - down) / (2.0 * eps)
+    return grad
+
+
+def check(fn_tensor, x, tol=TOL):
+    """Compare analytic and numeric gradients of scalar fn at x."""
+    t = Tensor(x.copy(), requires_grad=True)
+    out = fn_tensor(t)
+    out.backward()
+    analytic = t.grad
+
+    def scalar(values):
+        return fn_tensor(Tensor(values.copy())).item()
+
+    numeric = numeric_grad(scalar, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=tol, rtol=1e-4)
+
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.mark.parametrize("shape", [(3,), (2, 4), (2, 3, 2)])
+def test_sum_grad(shape):
+    check(lambda t: (t * t).sum(), RNG.normal(size=shape))
+
+
+def test_add_broadcast_grad():
+    x = RNG.normal(size=(3, 4))
+    other = Tensor(RNG.normal(size=(4,)))
+    check(lambda t: (t + other).sum(), x)
+    # gradient w.r.t. the broadcast operand
+    base = Tensor(RNG.normal(size=(3, 4)))
+    check(lambda t: ((base + t) * (base + t)).sum(), RNG.normal(size=(4,)))
+
+
+def test_mul_div_grad():
+    x = RNG.normal(size=(3, 3)) + 3.0
+    other = Tensor(RNG.normal(size=(3, 3)) + 3.0)
+    check(lambda t: (t * other).mean(), x)
+    check(lambda t: (t / other).mean(), x)
+    check(lambda t: (other / t).mean(), x)
+
+
+def test_pow_neg_grad():
+    x = np.abs(RNG.normal(size=(4,))) + 0.5
+    check(lambda t: (t ** 3).sum(), x)
+    check(lambda t: (-t).sum(), x)
+
+
+def test_matmul_grad():
+    x = RNG.normal(size=(3, 4))
+    w = Tensor(RNG.normal(size=(4, 2)))
+    check(lambda t: (t @ w).sum(), x)
+    a = Tensor(RNG.normal(size=(5, 3)))
+    check(lambda t: ((a @ t) ** 2).sum(), x)
+
+
+def test_batched_matmul_grad():
+    x = RNG.normal(size=(2, 3, 4))
+    w = Tensor(RNG.normal(size=(2, 4, 3)))
+    check(lambda t: (t @ w).sum(), x)
+    # broadcast batch dim on the right operand
+    w2 = Tensor(RNG.normal(size=(4, 3)))
+    check(lambda t: (t @ w2).sum(), x)
+
+
+@pytest.mark.parametrize("unary", ["exp", "tanh", "sigmoid", "relu",
+                                   "softplus", "abs", "sqrt", "log"])
+def test_unary_grads(unary):
+    if unary in ("sqrt", "log"):
+        x = np.abs(RNG.normal(size=(3, 3))) + 0.5
+    elif unary in ("relu", "abs"):
+        # keep away from the kink at zero
+        x = RNG.normal(size=(3, 3))
+        x[np.abs(x) < 0.1] = 0.5
+    else:
+        x = RNG.normal(size=(3, 3))
+    check(lambda t: getattr(t, unary)().sum(), x)
+
+
+def test_reduction_axis_grads():
+    x = RNG.normal(size=(3, 4))
+    check(lambda t: (t.sum(axis=0) ** 2).sum(), x)
+    check(lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(), x)
+    check(lambda t: (t.mean(axis=-1) ** 2).sum(), x)
+
+
+def test_reshape_transpose_grads():
+    x = RNG.normal(size=(2, 6))
+    check(lambda t: (t.reshape(3, 4) ** 2).sum(), x)
+    check(lambda t: (t.transpose() ** 2).sum(), x)
+    y = RNG.normal(size=(2, 3, 4))
+    check(lambda t: (t.transpose(1, 0, 2) ** 2).sum(), y)
+    check(lambda t: (t.swapaxes(-1, -2) ** 2).sum(), y)
+
+
+def test_getitem_grad():
+    x = RNG.normal(size=(5, 3))
+    check(lambda t: (t[1:4] ** 2).sum(), x)
+    idx = np.array([0, 2, 2, 4])
+    check(lambda t: (t[idx] ** 2).sum(), x)
+
+
+def test_concat_stack_grads():
+    x = RNG.normal(size=(3, 4))
+    other = Tensor(RNG.normal(size=(3, 2)))
+    check(lambda t: (F.concat([t, other], axis=1) ** 2).sum(), x)
+    other2 = Tensor(RNG.normal(size=(3, 4)))
+    check(lambda t: (F.stack([t, other2], axis=0) ** 2).sum(), x)
+    check(lambda t: (F.stack([other2, t], axis=1) ** 2).sum(), x)
+
+
+def test_embedding_grad():
+    weight = RNG.normal(size=(6, 3))
+    idx = np.array([0, 1, 1, 5])
+    check(lambda t: (F.embedding(t, idx) ** 2).sum(), weight)
+
+
+def test_softmax_grad():
+    x = RNG.normal(size=(3, 5))
+    target = Tensor(RNG.normal(size=(3, 5)))
+    check(lambda t: (F.softmax(t, axis=-1) * target).sum(), x)
+
+
+def test_bce_with_logits_grad():
+    x = RNG.normal(size=(8,))
+    labels = (RNG.random(8) > 0.5).astype(float)
+    check(lambda t: F.bce_with_logits(t, labels), x)
+    weights = RNG.random(8) + 0.1
+    check(lambda t: F.bce_with_logits(t, labels, sample_weight=weights), x)
+
+
+def test_leaky_relu_grad():
+    x = RNG.normal(size=(4, 4))
+    x[np.abs(x) < 0.1] = 0.7
+    check(lambda t: F.leaky_relu(t, 0.1).sum(), x)
+
+
+def test_mse_grad():
+    x = RNG.normal(size=(6,))
+    target = RNG.normal(size=(6,))
+    check(lambda t: F.mse_loss(t, target), x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(2, 5),
+    cols=st.integers(2, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_mlp_composite_gradcheck(rows, cols, seed):
+    """Property: a full MLP-style composite has correct gradients for any
+    shape and random values."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(rows, cols))
+    w1 = Tensor(rng.normal(size=(cols, 3)))
+    w2 = Tensor(rng.normal(size=(3, 1)))
+    labels = (rng.random(rows) > 0.5).astype(float)
+
+    def fn(t):
+        hidden = (t @ w1).tanh()
+        logits = (hidden @ w2).reshape(rows)
+        return F.bce_with_logits(logits, labels)
+
+    check(fn, x, tol=1e-5)
+
+
+def test_grad_accumulates_over_reuse():
+    """A tensor used twice receives the sum of both branch gradients."""
+    x = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+    out = (x * x).sum() + (3.0 * x).sum()
+    out.backward()
+    np.testing.assert_allclose(x.grad, np.array([7.0, 9.0]))
+
+
+def test_backward_requires_scalar():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with pytest.raises(RuntimeError):
+        (x * 2).backward()
+
+
+def test_no_grad_blocks_graph():
+    from repro.nn import no_grad
+
+    x = Tensor(np.ones(3), requires_grad=True)
+    with no_grad():
+        y = (x * 2).sum()
+    assert not y.requires_grad

@@ -1,0 +1,51 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import glorot_uniform, he_uniform, normal, zeros
+
+
+def test_glorot_bounds_and_scale():
+    rng = np.random.default_rng(0)
+    weights = glorot_uniform(rng, (200, 100))
+    limit = np.sqrt(6.0 / 300)
+    assert weights.shape == (200, 100)
+    assert np.abs(weights).max() <= limit
+    # variance close to the Glorot target limit^2/3
+    assert np.isclose(weights.var(), limit ** 2 / 3, rtol=0.1)
+
+
+def test_he_wider_than_glorot_for_tall_matrices():
+    rng = np.random.default_rng(0)
+    he = he_uniform(np.random.default_rng(1), (50, 500))
+    glorot = glorot_uniform(np.random.default_rng(1), (50, 500))
+    assert np.abs(he).max() > np.abs(glorot).max()
+
+
+def test_normal_std():
+    rng = np.random.default_rng(0)
+    weights = normal(rng, (5000,), std=0.05)
+    assert np.isclose(weights.std(), 0.05, rtol=0.1)
+    assert np.isclose(weights.mean(), 0.0, atol=0.005)
+
+
+def test_zeros():
+    z = zeros((3, 4))
+    assert z.shape == (3, 4)
+    assert not z.any()
+
+
+def test_vector_and_conv_fans():
+    rng = np.random.default_rng(0)
+    vector = glorot_uniform(rng, (10,))
+    assert vector.shape == (10,)
+    tensor3 = glorot_uniform(rng, (4, 5, 3))
+    assert tensor3.shape == (4, 5, 3)
+
+
+def test_determinism_with_same_generator_seed():
+    a = glorot_uniform(np.random.default_rng(7), (4, 4))
+    b = glorot_uniform(np.random.default_rng(7), (4, 4))
+    np.testing.assert_array_equal(a, b)

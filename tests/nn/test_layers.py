@@ -1,0 +1,123 @@
+"""Layers: shapes, modes, normalization semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Dropout,
+    Embedding,
+    Identity,
+    LayerNorm,
+    MLPBlock,
+    PartitionedNorm,
+    Tensor,
+)
+
+
+RNG = np.random.default_rng(7)
+
+
+def test_dense_shapes_and_activation():
+    layer = Dense(4, 3, RNG, activation="relu")
+    out = layer(Tensor(RNG.normal(size=(5, 4))))
+    assert out.shape == (5, 3)
+    assert (out.data >= 0).all()
+
+
+def test_dense_no_bias():
+    layer = Dense(4, 3, RNG, use_bias=False)
+    assert layer.bias is None
+    names = [name for name, _ in layer.named_parameters()]
+    assert names == ["weight"]
+
+
+def test_dense_rejects_unknown_activation():
+    with pytest.raises(ValueError):
+        Dense(2, 2, RNG, activation="swishish")
+
+
+def test_mlp_block_structure():
+    block = MLPBlock(6, [8, 4, 1], RNG, dropout_rate=0.5,
+                     out_activation="linear")
+    assert block.out_dim == 1
+    out = block(Tensor(RNG.normal(size=(3, 6))))
+    assert out.shape == (3, 1)
+    # final layer is linear: outputs can be negative
+    block.eval()
+    outs = block(Tensor(RNG.normal(size=(200, 6)))).data
+    assert (outs < 0).any()
+
+
+def test_mlp_block_empty_hidden_is_identity_dims():
+    block = MLPBlock(5, [], RNG)
+    assert block.out_dim == 5
+    x = Tensor(RNG.normal(size=(2, 5)))
+    np.testing.assert_allclose(block(x).data, x.data)
+
+
+def test_embedding_lookup_and_bounds():
+    emb = Embedding(10, 4, RNG)
+    out = emb(np.array([0, 3, 3, 9]))
+    assert out.shape == (4, 4)
+    np.testing.assert_allclose(out.data[1], out.data[2])
+    with pytest.raises(IndexError):
+        emb(np.array([10]))
+    with pytest.raises(IndexError):
+        emb(np.array([-1]))
+
+
+def test_dropout_train_vs_eval():
+    drop = Dropout(0.5, np.random.default_rng(0))
+    x = Tensor(np.ones((100, 10)))
+    out_train = drop(x).data
+    assert (out_train == 0.0).any()
+    # inverted scaling keeps the expectation
+    assert out_train.mean() == pytest.approx(1.0, abs=0.15)
+    drop.eval()
+    np.testing.assert_allclose(drop(x).data, x.data)
+
+
+def test_dropout_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        Dropout(1.0, np.random.default_rng(0))
+
+
+def test_identity_passthrough():
+    x = Tensor(np.ones(3))
+    assert Identity()(x) is x
+
+
+def test_layer_norm_standardizes():
+    norm = LayerNorm(8)
+    out = norm(Tensor(RNG.normal(loc=5.0, scale=3.0, size=(4, 8)))).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+    np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+def test_partitioned_norm_per_domain_params():
+    norm = PartitionedNorm(6, num_domains=3)
+    x = Tensor(RNG.normal(size=(4, 6)))
+    out0 = norm(x, 0).data
+    out1 = norm(x, 1).data
+    # with untouched params all domains agree initially
+    np.testing.assert_allclose(out0, out1)
+    # shifting one domain's beta only changes that domain
+    norm.beta_domain.data[1] += 1.0
+    out1_shifted = norm(x, 1).data
+    np.testing.assert_allclose(norm(x, 0).data, out0)
+    np.testing.assert_allclose(out1_shifted, out1 + 1.0)
+    with pytest.raises(IndexError):
+        norm(x, 3)
+
+
+def test_gradients_flow_through_partitioned_norm_domain_slice():
+    norm = PartitionedNorm(4, num_domains=2)
+    x = Tensor(RNG.normal(size=(3, 4)))
+    loss = (norm(x, 0) ** 2).sum()
+    loss.backward()
+    # only domain 0's slice receives gradient
+    assert np.abs(norm.gamma_domain.grad[0]).sum() > 0
+    assert np.abs(norm.gamma_domain.grad[1]).sum() == 0

@@ -1,0 +1,92 @@
+"""Optimizers: convergence on convex problems and state handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adagrad, Adam, Parameter, Tensor, make_optimizer
+
+
+def quadratic_loss(param, target):
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+def run_descent(optimizer_cls, lr, steps=300, **kwargs):
+    target = np.array([1.5, -2.0, 0.5])
+    param = Parameter(np.zeros(3))
+    opt = optimizer_cls([param], lr, **kwargs)
+    for _ in range(steps):
+        loss = quadratic_loss(param, target)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return param.data, target
+
+
+@pytest.mark.parametrize("cls,lr", [(SGD, 0.1), (Adam, 0.05), (Adagrad, 0.5)])
+def test_converges_on_quadratic(cls, lr):
+    final, target = run_descent(cls, lr)
+    np.testing.assert_allclose(final, target, atol=1e-2)
+
+
+def test_sgd_momentum_converges():
+    final, target = run_descent(SGD, 0.05, momentum=0.9)
+    np.testing.assert_allclose(final, target, atol=1e-2)
+
+
+def test_sgd_weight_decay_shrinks_solution():
+    final_plain, target = run_descent(SGD, 0.1)
+    final_decayed, _ = run_descent(SGD, 0.1, weight_decay=1.0)
+    assert np.linalg.norm(final_decayed) < np.linalg.norm(final_plain)
+
+
+def test_step_skips_params_without_grad():
+    p1 = Parameter(np.zeros(2))
+    p2 = Parameter(np.ones(2))
+    opt = SGD([p1, p2], 0.1)
+    p1.grad = np.ones(2)
+    opt.step()
+    np.testing.assert_allclose(p1.data, [-0.1, -0.1])
+    np.testing.assert_allclose(p2.data, [1.0, 1.0])
+
+
+def test_adam_bias_correction_first_step():
+    p = Parameter(np.zeros(1))
+    opt = Adam([p], lr=0.1)
+    p.grad = np.array([1.0])
+    opt.step()
+    # With bias correction the first step magnitude equals lr.
+    np.testing.assert_allclose(p.data, [-0.1], atol=1e-6)
+
+
+def test_reset_state_clears_moments():
+    p = Parameter(np.zeros(1))
+    opt = Adam([p], lr=0.1)
+    p.grad = np.array([1.0])
+    opt.step()
+    opt.reset_state()
+    assert opt._t == 0 and not opt._m and not opt._v
+
+    sgd = SGD([p], 0.1, momentum=0.9)
+    p.grad = np.array([1.0])
+    sgd.step()
+    sgd.reset_state()
+    assert not sgd._velocity
+
+
+def test_make_optimizer_registry():
+    p = Parameter(np.zeros(1))
+    assert isinstance(make_optimizer("sgd", [p], 0.1), SGD)
+    assert isinstance(make_optimizer("ADAM", [p], 0.1), Adam)
+    assert isinstance(make_optimizer("Adagrad", [p], 0.1), Adagrad)
+    with pytest.raises(ValueError):
+        make_optimizer("rmsprop", [p], 0.1)
+
+
+def test_optimizer_rejects_bad_args():
+    with pytest.raises(ValueError):
+        SGD([], 0.1)
+    with pytest.raises(ValueError):
+        SGD([Parameter(np.zeros(1))], -0.1)

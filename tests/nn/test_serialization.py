@@ -1,0 +1,75 @@
+"""Persistence of states and per-domain banks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import (
+    load_bank_states,
+    load_state,
+    save_bank_states,
+    save_state,
+)
+from repro.nn.state import state_allclose, state_scale
+
+
+def test_state_round_trip(tmp_path, tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    state = model.state_dict()
+    path = tmp_path / "state.npz"
+    save_state(path, state)
+    loaded = load_state(path)
+    assert state_allclose(state, loaded)
+    # loading into a fresh model works
+    other = build_model("mlp", tiny_dataset, seed=99)
+    other.load_state_dict(loaded)
+    assert state_allclose(other.state_dict(), state)
+
+
+def test_bank_round_trip(tmp_path, tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    base = model.state_dict()
+    domain_states = {0: base, 2: state_scale(base, 2.0)}
+    path = tmp_path / "bank.npz"
+    save_bank_states(path, domain_states, default_state=base)
+    loaded_states, loaded_default = load_bank_states(path)
+    assert set(loaded_states) == {0, 2}
+    assert state_allclose(loaded_states[2], state_scale(base, 2.0))
+    assert state_allclose(loaded_default, base)
+
+
+def test_bank_without_default(tmp_path, tiny_dataset):
+    model = build_model("mlp", tiny_dataset, seed=0)
+    path = tmp_path / "bank.npz"
+    save_bank_states(path, {1: model.state_dict()})
+    states, default = load_bank_states(path)
+    assert default is None
+    assert set(states) == {1}
+
+
+def test_empty_bank_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        save_bank_states(tmp_path / "x.npz", {})
+
+
+def test_serving_from_reloaded_bank(tmp_path, tiny_dataset, fast_config):
+    """A trained StateBank survives a save/load round trip with identical
+    predictions — the deployment path of Figure 2."""
+    from repro.core import MAMDR
+    from repro.data import sample_batch
+    from repro.frameworks import StateBank
+
+    model = build_model("mlp", tiny_dataset, seed=0)
+    bank = MAMDR().fit(model, tiny_dataset, fast_config, seed=0)
+    path = tmp_path / "deploy.npz"
+    save_bank_states(path, bank.domain_states, default_state=bank.default_state)
+
+    states, default = load_bank_states(path)
+    model2 = build_model("mlp", tiny_dataset, seed=123)
+    bank2 = StateBank(model2, states, default_state=default)
+
+    rng = np.random.default_rng(0)
+    batch = sample_batch(tiny_dataset.domain(1).test, 1, 16, rng)
+    np.testing.assert_allclose(bank.scores(batch), bank2.scores(batch))

@@ -1,0 +1,97 @@
+"""State-dict arithmetic — the algebra behind DN/DR/MAMDR updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    clone_state,
+    state_add,
+    state_allclose,
+    state_dot,
+    state_interpolate,
+    state_norm,
+    state_scale,
+    state_sub,
+    zeros_like_state,
+)
+
+
+def make_state(rng, keys=("a", "b")):
+    return {key: rng.normal(size=(2, 3)) for key in keys}
+
+
+def test_clone_is_deep():
+    rng = np.random.default_rng(0)
+    state = make_state(rng)
+    cloned = clone_state(state)
+    cloned["a"][0, 0] = 999.0
+    assert state["a"][0, 0] != 999.0
+
+
+def test_zeros_like_matches_shapes():
+    rng = np.random.default_rng(0)
+    state = make_state(rng)
+    zeros = zeros_like_state(state)
+    assert all(np.all(v == 0) for v in zeros.values())
+    assert all(zeros[k].shape == state[k].shape for k in state)
+
+
+def test_add_sub_scale_roundtrip():
+    rng = np.random.default_rng(1)
+    a, b = make_state(rng), make_state(rng)
+    total = state_add(a, b)
+    back = state_sub(total, b)
+    assert state_allclose(back, a)
+    doubled = state_scale(a, 2.0)
+    assert state_allclose(state_sub(doubled, a), a)
+
+
+def test_mismatched_keys_raise():
+    rng = np.random.default_rng(2)
+    a = make_state(rng, keys=("a", "b"))
+    b = make_state(rng, keys=("a", "c"))
+    with pytest.raises(KeyError):
+        state_add(a, b)
+    assert not state_allclose(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(step=st.floats(0.0, 1.0), seed=st.integers(0, 1000))
+def test_interpolate_is_convex_combination(step, seed):
+    """Property: interpolation lands between origin and target and hits the
+    endpoints at step 0 / 1 (Eqs. 3 and 8)."""
+    rng = np.random.default_rng(seed)
+    origin, target = make_state(rng), make_state(rng)
+    mid = state_interpolate(origin, target, step)
+    expected = {
+        k: origin[k] + step * (target[k] - origin[k]) for k in origin
+    }
+    assert state_allclose(mid, expected)
+    if step == 0.0:
+        assert state_allclose(mid, origin)
+    if step == 1.0:
+        assert state_allclose(mid, target)
+
+
+def test_dot_and_norm_consistent():
+    rng = np.random.default_rng(3)
+    a = make_state(rng)
+    assert state_dot(a, a) == pytest.approx(state_norm(a) ** 2)
+    zero = zeros_like_state(a)
+    assert state_dot(a, zero) == 0.0
+    assert state_norm(zero) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_dot_bilinear(seed):
+    """Property: state_dot is bilinear."""
+    rng = np.random.default_rng(seed)
+    a, b, c = make_state(rng), make_state(rng), make_state(rng)
+    lhs = state_dot(state_add(a, b), c)
+    rhs = state_dot(a, c) + state_dot(b, c)
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)

@@ -1,0 +1,111 @@
+"""Behavioral tests for the Tensor class (beyond gradient correctness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, is_grad_enabled, no_grad
+
+
+def test_construction_coerces_to_float64():
+    t = Tensor([1, 2, 3])
+    assert t.data.dtype == np.float64
+    assert t.shape == (3,)
+    assert t.size == 3
+    assert len(t) == 3
+
+
+def test_as_tensor_passthrough():
+    t = Tensor([1.0])
+    assert as_tensor(t) is t
+    wrapped = as_tensor([1.0, 2.0])
+    assert isinstance(wrapped, Tensor)
+    assert not wrapped.requires_grad
+
+
+def test_repr_mentions_grad_flag():
+    assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+    assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+def test_detach_shares_data_but_cuts_graph():
+    t = Tensor([1.0, 2.0], requires_grad=True)
+    d = t.detach()
+    assert not d.requires_grad
+    assert d.data is t.data
+
+
+def test_item_on_scalar():
+    assert Tensor(np.array(2.5)).item() == 2.5
+    with pytest.raises(Exception):
+        Tensor([1.0, 2.0]).item()
+
+
+def test_arithmetic_with_python_scalars():
+    t = Tensor([1.0, 2.0])
+    np.testing.assert_allclose((t + 1).data, [2.0, 3.0])
+    np.testing.assert_allclose((1 + t).data, [2.0, 3.0])
+    np.testing.assert_allclose((t - 1).data, [0.0, 1.0])
+    np.testing.assert_allclose((3 - t).data, [2.0, 1.0])
+    np.testing.assert_allclose((t * 2).data, [2.0, 4.0])
+    np.testing.assert_allclose((t / 2).data, [0.5, 1.0])
+    np.testing.assert_allclose((2 / t).data, [2.0, 1.0])
+
+
+def test_matmul_requires_2d():
+    with pytest.raises(ValueError):
+        Tensor([1.0, 2.0]) @ Tensor([[1.0], [2.0]])
+
+
+def test_pow_rejects_tensor_exponent():
+    with pytest.raises(TypeError):
+        Tensor([2.0]) ** Tensor([2.0])
+
+
+def test_comparison_returns_numpy_bool():
+    t = Tensor([1.0, -1.0])
+    mask = t > 0
+    assert mask.dtype == bool
+    assert mask.tolist() == [True, False]
+    assert (t < 0).tolist() == [False, True]
+
+
+def test_backward_on_non_grad_tensor_raises():
+    with pytest.raises(RuntimeError):
+        Tensor([1.0]).backward()
+
+
+def test_grad_accumulates_across_backward_calls():
+    x = Tensor(np.array([1.0]), requires_grad=True)
+    (x * 2).sum().backward()
+    (x * 3).sum().backward()
+    np.testing.assert_allclose(x.grad, [5.0])
+    x.zero_grad()
+    assert x.grad is None
+
+
+def test_grad_flag_restored_after_exception():
+    assert is_grad_enabled()
+    with pytest.raises(ValueError):
+        with no_grad():
+            raise ValueError("boom")
+    assert is_grad_enabled()
+
+
+def test_sigmoid_is_stable_for_extreme_logits():
+    t = Tensor(np.array([-1000.0, 0.0, 1000.0]))
+    out = t.sigmoid().data
+    np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+    sp = t.softplus().data
+    assert np.isfinite(sp).all()
+    assert sp[0] == pytest.approx(0.0, abs=1e-12)
+    assert sp[2] == pytest.approx(1000.0)
+
+
+def test_no_graph_recorded_for_non_grad_inputs():
+    a = Tensor([1.0])
+    b = Tensor([2.0])
+    c = a + b
+    assert c._backward is None
+    assert c._parents == ()

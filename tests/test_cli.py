@@ -1,0 +1,43 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out and "fig9" in out
+    assert "amazon6_sim" in out
+
+
+def test_stats_command(capsys):
+    assert main(["stats", "taobao10_sim", "--scale", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "D1" in out and "CTR Ratio" in out
+
+
+def test_run_requires_known_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "table99"])
+
+
+def test_seed_parsing():
+    parser = build_parser()
+    args = parser.parse_args(["run", "fig9", "--seeds", "0,3,5"])
+    assert args.seeds == (0, 3, 5)
+    args = parser.parse_args(["run", "fig9"])
+    assert args.seeds == (0,)
+
+
+def test_run_fig9_tiny(capsys):
+    """End-to-end CLI run on a deliberately tiny configuration."""
+    assert main([
+        "run", "fig9", "--scale", "0.25", "--seeds", "0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 9 analogue" in out
