@@ -7,11 +7,17 @@ section, prints it, and persists the rendered text under
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Perf microbenchmarks (benchmarks/perf/) record their timings here; the
+# session hook below merges them into BENCH_perf.json at the repo root so
+# successive PRs accumulate a performance trajectory.
+BENCH_PERF_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
 @pytest.fixture(scope="session")
@@ -24,3 +30,25 @@ def emit(results_dir, name, text):
     """Print a rendered table and persist it to the results directory."""
     print("\n" + text)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def perf_records():
+    """Mutable mapping perf benchmarks write their measurements into.
+
+    Merged (not overwritten) into ``BENCH_perf.json`` at session end, so a
+    partial run — e.g. ``pytest benchmarks/perf -m perf_smoke`` — only
+    refreshes the entries it actually measured.
+    """
+    records = {}
+    yield records
+    if not records:
+        return
+    payload = {"benchmarks": {}}
+    if BENCH_PERF_PATH.exists():
+        try:
+            payload = json.loads(BENCH_PERF_PATH.read_text())
+        except json.JSONDecodeError:
+            pass
+    payload.setdefault("benchmarks", {}).update(records)
+    BENCH_PERF_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

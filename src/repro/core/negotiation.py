@@ -17,7 +17,7 @@ every domain's loss and ascends the pairwise gradient inner-products
 from __future__ import annotations
 
 from ..frameworks.base import LearningFramework, SingleModelBank
-from ..nn.state import state_interpolate
+from ..nn.state import clone_state, state_interpolate_
 from ..utils.seeding import spawn_rng
 from .selection import BestTracker, model_split_auc
 from .trainer import make_inner_optimizer, train_steps
@@ -54,7 +54,11 @@ def domain_negotiation_epoch(model, dataset, shared_state, config, rng,
             config.inner_steps,
         )
 
-    return state_interpolate(shared_state, model.state_dict(), config.outer_lr)
+    # Eq. 3 without materializing model.state_dict(): interpolate the owned
+    # clone toward a zero-copy view of the live parameters (one full-state
+    # allocation per DN epoch instead of two).
+    current = {name: param.data for name, param in model.named_parameters()}
+    return state_interpolate_(clone_state(shared_state), current, config.outer_lr)
 
 
 class DomainNegotiation(LearningFramework):

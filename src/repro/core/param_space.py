@@ -9,7 +9,9 @@ literal, and they are what the PS-Worker implementation ships around.
 
 from __future__ import annotations
 
-from ..nn.state import clone_state, state_add, state_sub, zeros_like_state
+from collections import OrderedDict
+
+from ..nn.state import clone_state, state_add, zeros_like_state
 
 __all__ = ["DomainParameterSpace"]
 
@@ -54,8 +56,16 @@ class DomainParameterSpace:
         model.load_state_dict(self.combined(domain))
 
     def extract_delta(self, model, domain=None):
-        """Read the model's current state as a delta against θ_S."""
-        return state_sub(model.state_dict(), self.shared)
+        """Read the model's current state as a delta against θ_S.
+
+        Computed straight from the live parameters (one allocation) rather
+        than ``state_sub(model.state_dict(), ...)`` (two) — this runs once
+        per DR helper step.
+        """
+        return OrderedDict(
+            (name, param.data - self.shared[name])
+            for name, param in model.named_parameters()
+        )
 
     def all_combined(self):
         """``{domain: Θ_domain}`` for deployment as a StateBank."""

@@ -17,7 +17,7 @@ delta moves, matching Figure 4(b).
 from __future__ import annotations
 
 from ..frameworks.base import LearningFramework, StateBank
-from ..nn.state import state_add, state_interpolate
+from ..nn.state import clone_state, state_add, state_interpolate_
 from ..utils.seeding import spawn_rng
 from .param_space import DomainParameterSpace
 from .selection import PerDomainTracker
@@ -39,7 +39,9 @@ def sample_helper_domains(rng, n_domains, target, k):
 def domain_regularization_round(model, dataset, space, target, config, rng,
                                 split="train"):
     """Run one DR round for ``target`` and return the new delta θ_target."""
-    delta = space.delta(target)
+    # Own the accumulator once, then apply every helper's Eq. 8 step in
+    # place — k meta-steps, one state allocation.
+    delta = clone_state(space.delta(target))
     helpers = sample_helper_domains(rng, dataset.n_domains, target, config.sample_k)
     target_table = getattr(dataset.domain(target), split)
 
@@ -58,7 +60,7 @@ def domain_regularization_round(model, dataset, space, target, config, rng,
 
         # Eq. 8: θ_i ← θ_i + γ (θ_i~ − θ_i), where θ_i~ = state − θ_S.
         candidate = space.extract_delta(model)
-        delta = state_interpolate(delta, candidate, config.dr_lr)
+        state_interpolate_(delta, candidate, config.dr_lr)
 
     return delta
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from ..data.batching import iter_minibatches
 from ..nn.optim import make_optimizer
+from ..nn.sparse import SparseGrad
+from ..utils import profiling
 
 __all__ = ["train_steps", "make_inner_optimizer", "compute_loss_gradient"]
 
@@ -17,10 +19,12 @@ def train_steps(model, table, domain, optimizer, rng, batch_size, max_steps):
     total, steps = 0.0, 0
     for batch in iter_minibatches(table, domain, batch_size, rng=rng,
                                   max_batches=max_steps):
+        start = profiling.tick()
         loss = model.loss(batch)
         model.zero_grad()
         loss.backward()
         optimizer.step()
+        profiling.tock("train.step", start)
         total += loss.item()
         steps += 1
     return total / steps if steps else 0.0
@@ -42,5 +46,10 @@ def compute_loss_gradient(model, batch):
     grads = {}
     for name, param in model.named_parameters():
         if param.grad is not None:
-            grads[name] = param.grad.copy()
+            grad = param.grad
+            # Callers (PCGrad, MLDG, conflict probes) do dense state algebra
+            # on these, so materialize sparse embedding grads here.
+            grads[name] = (
+                grad.to_dense() if isinstance(grad, SparseGrad) else grad.copy()
+            )
     return loss.item(), grads

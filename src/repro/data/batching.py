@@ -35,12 +35,19 @@ def iter_minibatches(table, domain, batch_size, rng=None, max_batches=None):
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     n = len(table)
-    order = rng.permutation(n) if rng is not None else np.arange(n)
+    # Unshuffled passes (evaluation, deterministic replays) slice directly:
+    # a slice is a zero-copy view, whereas fancy-indexing through an
+    # np.arange order copies every row of the table per pass.
+    order = rng.permutation(n) if rng is not None else None
     produced = 0
     for start in range(0, n, batch_size):
         if max_batches is not None and produced >= max_batches:
             return
-        index = order[start:start + batch_size]
+        index = (
+            slice(start, start + batch_size)
+            if order is None
+            else order[start:start + batch_size]
+        )
         yield Batch(
             table.users[index], table.items[index], table.labels[index], domain
         )

@@ -66,22 +66,33 @@ class ComparisonResult:
         return max(self.reports, key=lambda name: self.reports[name].mean_auc)
 
 
-def run_method(spec, dataset, config=None, seed=0):
-    """Train one method spec on a dataset and return its evaluation report."""
+def run_method(spec, dataset, config=None, seed=0, profiler=None):
+    """Train one method spec on a dataset and return its evaluation report.
+
+    ``profiler`` may be a :class:`repro.utils.profiling.Profile`; when
+    given, training runs inside it so per-op wall-time/allocation counters
+    (embedding fwd/bwd, fused kernels, optimizer steps) are collected.
+    """
     config = config or TrainConfig()
     if spec.config_overrides:
         config = config.updated(**spec.config_overrides)
     model = build_model(spec.model, dataset, seed=seed, **spec.model_kwargs)
     framework = framework_by_name(spec.framework, **spec.framework_kwargs)
-    bank = framework.fit(model, dataset, config, seed=seed)
+    if profiler is not None:
+        with profiler:
+            bank = framework.fit(model, dataset, config, seed=seed)
+    else:
+        bank = framework.fit(model, dataset, config, seed=seed)
     return evaluate_bank(bank, dataset, method=spec.name)
 
 
-def run_comparison(specs, dataset, config=None, seed=0, verbose=False):
+def run_comparison(specs, dataset, config=None, seed=0, verbose=False,
+                   profiler=None):
     """Train every method spec on ``dataset`` and collect the reports."""
     reports = {}
     for spec in specs:
-        report = run_method(spec, dataset, config=config, seed=seed)
+        report = run_method(spec, dataset, config=config, seed=seed,
+                            profiler=profiler)
         reports[spec.name] = report
         if verbose:
             print(f"  {spec.name:24s} AUC={report.mean_auc:.4f}")

@@ -25,15 +25,20 @@ from .serialization import (
     save_bank_states,
     save_state,
 )
+from .sparse import SparseGrad, sparse_grads_enabled, use_sparse_grads
 from .state import (
     clone_state,
     state_add,
+    state_add_,
     state_allclose,
     state_dot,
     state_interpolate,
+    state_interpolate_,
     state_norm,
     state_scale,
+    state_scale_,
     state_sub,
+    state_sub_,
     zeros_like_state,
 )
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
@@ -70,10 +75,17 @@ __all__ = [
     "clone_state",
     "zeros_like_state",
     "state_add",
+    "state_add_",
     "state_sub",
+    "state_sub_",
     "state_scale",
+    "state_scale_",
     "state_interpolate",
+    "state_interpolate_",
     "state_dot",
     "state_norm",
     "state_allclose",
+    "SparseGrad",
+    "use_sparse_grads",
+    "sparse_grads_enabled",
 ]

@@ -3,13 +3,22 @@
 Everything here is differentiable (where meaningful) and built either from
 primitives defined on ``Tensor`` or as new primitives with hand-written
 backward passes (``concat``, ``embedding``), all covered by gradcheck tests.
+
+Hot-path ops come in fused single-node form: ``embedding`` emits a
+:class:`~repro.nn.sparse.SparseGrad` instead of a dense full-table scatter,
+``bce_with_logits`` computes forward and backward in closed form instead of
+recording a four-op graph, and ``fused_dense`` collapses matmul + bias +
+activation into one node.  The unfused compositions are kept as
+``*_reference`` functions for parity tests and benchmarks.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from ..utils import profiling
+from . import sparse
+from .tensor import Tensor, _stable_sigmoid, as_tensor, unbroadcast
 
 __all__ = [
     "relu",
@@ -23,7 +32,9 @@ __all__ = [
     "stack",
     "embedding",
     "linear",
+    "fused_dense",
     "bce_with_logits",
+    "bce_with_logits_reference",
     "mse_loss",
     "l2_penalty",
 ]
@@ -102,19 +113,31 @@ def stack(tensors, axis=0):
 def embedding(weight, indices):
     """Gather rows ``indices`` from ``weight`` ([n, d] -> [len(indices), d]).
 
-    The backward pass scatter-adds into the weight gradient, which is the
-    sparse-embedding update the paper's PS-Worker cache (Section IV-E) is
-    built around.
+    The backward pass produces a :class:`~repro.nn.sparse.SparseGrad`
+    holding only the touched rows — the sparse-embedding update the paper's
+    PS-Worker cache (Section IV-E) is built around — so both gradient
+    accumulation and the optimizer step cost O(batch), not O(table).  The
+    dense ``np.add.at`` fallback is selected by
+    :func:`~repro.nn.sparse.use_sparse_grads` for parity checks.
     """
     weight = as_tensor(weight)
     indices = np.asarray(indices, dtype=np.int64)
 
     def backward(g):
-        grad = np.zeros_like(weight.data)
-        np.add.at(grad, indices, g)
+        start = profiling.tick()
+        if sparse.sparse_grads_enabled():
+            grad = sparse.SparseGrad.from_lookup(indices, g, weight.data.shape)
+            profiling.tock("embedding.backward.sparse", start, grad.nbytes)
+        else:
+            grad = np.zeros_like(weight.data)
+            np.add.at(grad, indices, g)
+            profiling.tock("embedding.backward.dense", start, grad.nbytes)
         return (grad,)
 
-    return Tensor._make(weight.data[indices], (weight,), backward)
+    start = profiling.tick()
+    out = weight.data[indices]
+    profiling.tock("embedding.forward", start, out.nbytes)
+    return Tensor._make(out, (weight,), backward)
 
 
 def linear(x, weight, bias=None):
@@ -125,12 +148,132 @@ def linear(x, weight, bias=None):
     return out
 
 
+_FUSED_ACTIVATIONS = ("linear", "relu", "sigmoid", "tanh")
+
+
+def fused_dense(x, weight, bias=None, activation="linear"):
+    """``act(x @ weight + bias)`` as one autodiff node.
+
+    Fusing the affine map and the activation removes two graph nodes (and
+    their intermediate full-activation arrays) per Dense layer per step.
+    The activation derivative is recovered from the saved *output* (relu
+    mask, ``s(1-s)``, ``1-t²``), so no extra forward buffers are retained.
+    """
+    if activation not in _FUSED_ACTIVATIONS:
+        raise ValueError(
+            f"unsupported fused activation {activation!r}; "
+            f"expected one of {_FUSED_ACTIVATIONS}"
+        )
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if x.ndim < 2 or weight.ndim < 2:
+        raise ValueError("fused_dense requires ndim >= 2 operands")
+    bias_t = as_tensor(bias) if bias is not None else None
+
+    start = profiling.tick()
+    z = np.matmul(x.data, weight.data)
+    if bias_t is not None:
+        np.add(z, bias_t.data, out=z)
+    if activation == "relu":
+        out = np.maximum(z, 0.0)
+    elif activation == "sigmoid":
+        out = _stable_sigmoid(z)
+    elif activation == "tanh":
+        out = np.tanh(z)
+    else:
+        out = z
+    profiling.tock("dense.fused_forward", start, out.nbytes)
+
+    parents = (x, weight) if bias_t is None else (x, weight, bias_t)
+
+    def backward(g):
+        start = profiling.tick()
+        if activation == "relu":
+            gz = g * (out > 0.0)
+        elif activation == "sigmoid":
+            gz = g * out * (1.0 - out)
+        elif activation == "tanh":
+            gz = g * (1.0 - out ** 2)
+        else:
+            gz = g
+        grad_x = unbroadcast(
+            np.matmul(gz, np.swapaxes(weight.data, -1, -2)), x.shape
+        )
+        grad_w = unbroadcast(
+            np.matmul(np.swapaxes(x.data, -1, -2), gz), weight.shape
+        )
+        profiling.tock("dense.fused_backward", start)
+        if bias_t is None:
+            return grad_x, grad_w
+        return grad_x, grad_w, unbroadcast(gz, bias_t.shape)
+
+    return Tensor._make(out, parents, backward)
+
+
 def bce_with_logits(logits, labels, sample_weight=None):
     """Mean binary cross entropy on raw logits (numerically stable).
 
     Uses the identity ``BCE(x, y) = softplus(x) - x*y`` for y in {0, 1},
     which also holds (as the expected cross entropy) for soft labels.
+
+    This is a fused single-node kernel: the forward pass evaluates the
+    closed form directly and the backward pass is ``(sigmoid(x) - y) / n``
+    — no intermediate softplus/mul/sub/mean graph is recorded.  It matches
+    :func:`bce_with_logits_reference` to float64 rounding.
     """
+    logits = as_tensor(logits)
+    labels = as_tensor(labels)
+    x = logits.data
+    y = labels.data
+
+    start = profiling.tick()
+    # softplus(x) - x*y, with softplus in the overflow-safe form.
+    per_sample = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x))) - x * y
+    if sample_weight is not None:
+        sw = as_tensor(sample_weight)
+        weighted = per_sample * sw.data
+        parents = (logits, labels, sw)
+    else:
+        sw = None
+        weighted = per_sample
+        parents = (logits, labels)
+    count = weighted.size
+    out = weighted.mean()
+    profiling.tock("loss.bce_fused_forward", start)
+
+    def backward(g):
+        start = profiling.tick()
+        scale = g / count
+        base = _stable_sigmoid(x) - y
+        if sw is None:
+            grad_logits = unbroadcast(
+                np.broadcast_to(scale * base, weighted.shape), logits.shape
+            )
+            grad_labels = unbroadcast(
+                np.broadcast_to(scale * (-x), weighted.shape), labels.shape
+            )
+            grads = (grad_logits, grad_labels)
+        else:
+            grad_logits = unbroadcast(
+                np.broadcast_to(scale * base * sw.data, weighted.shape),
+                logits.shape,
+            )
+            grad_labels = unbroadcast(
+                np.broadcast_to(scale * (-x) * sw.data, weighted.shape),
+                labels.shape,
+            )
+            grad_weight = unbroadcast(
+                np.broadcast_to(scale * per_sample, weighted.shape), sw.shape
+            )
+            grads = (grad_logits, grad_labels, grad_weight)
+        profiling.tock("loss.bce_fused_backward", start)
+        return grads
+
+    return Tensor._make(np.asarray(out), parents, backward)
+
+
+def bce_with_logits_reference(logits, labels, sample_weight=None):
+    """The original composed (4-node) BCE graph, kept for parity tests."""
     logits = as_tensor(logits)
     labels = as_tensor(labels)
     per_sample = logits.softplus() - logits * labels

@@ -63,11 +63,11 @@ class Dense(Module):
             weight = init.glorot_uniform(rng, (in_dim, out_dim))
         self.weight = Parameter(weight)
         self.bias = Parameter(init.zeros(out_dim)) if use_bias else None
+        self.activation = activation
         self._activation = resolve_activation(activation)
 
     def forward(self, x):
-        out = F.linear(x, self.weight, self.bias)
-        return self._activation(out)
+        return F.fused_dense(x, self.weight, self.bias, activation=self.activation)
 
 
 class MLPBlock(Module):
@@ -109,8 +109,13 @@ class Embedding(Module):
         self.weight = Parameter(init.normal(rng, (num_embeddings, dim), std=std))
 
     def forward(self, indices):
-        indices = np.asarray(indices)
-        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        # Single-scan validation: reinterpreting int64 as uint64 maps
+        # negative ids above any valid table size, so one clipped comparison
+        # catches both out-of-range directions (vs. the old min()+max()).
+        if indices.size and (
+            indices.view(np.uint64) >= np.uint64(self.num_embeddings)
+        ).any():
             raise IndexError(
                 f"embedding index out of range [0, {self.num_embeddings})"
             )

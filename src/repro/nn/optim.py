@@ -3,13 +3,33 @@
 The paper's large-scale setup pairs different optimizers for the inner and
 outer loops (SGD inside, Adagrad on the parameter server); all three
 optimizers used anywhere in the paper — SGD, Adam, Adagrad — are provided.
+
+Two performance properties matter here:
+
+* **In-place dense updates** — parameters and slot state are updated with
+  ``+=``-style ops instead of reallocating full arrays every step.
+* **Sparse fast path** — when a parameter's gradient is a
+  :class:`~repro.nn.sparse.SparseGrad` (embedding tables), the update
+  touches only the gradient's rows, so a step costs O(batch rows) instead
+  of O(table).  Sparse Adam is the *lazily-corrected* variant: each row's
+  first/second moments are decayed by ``beta**skipped_steps`` when the row
+  is next touched, so a row that receives gradient every step matches dense
+  Adam exactly, and untouched rows are never written.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..utils import profiling
+from .sparse import SparseGrad
+
 __all__ = ["Optimizer", "SGD", "Adam", "Adagrad", "make_optimizer"]
+
+
+def _row_broadcast(factors, values_ndim):
+    """Reshape per-row factors [r] to broadcast against row values [r, ...]."""
+    return factors.reshape(factors.shape + (1,) * (values_ndim - 1))
 
 
 class Optimizer:
@@ -28,10 +48,12 @@ class Optimizer:
             param.grad = None
 
     def step(self):
+        start = profiling.tick()
         for index, param in enumerate(self.params):
             if param.grad is None:
                 continue
             self._update(index, param)
+        profiling.tock("optim.step", start)
 
     def _update(self, index, param):
         raise NotImplementedError
@@ -52,23 +74,38 @@ class SGD(Optimizer):
 
     def _update(self, index, param):
         grad = param.grad
+        if isinstance(grad, SparseGrad):
+            if self.momentum or self.weight_decay:
+                # Momentum/decay couple every row to every step; fall back
+                # to the dense (exact) update rather than approximate.
+                grad = grad.to_dense()
+            else:
+                param.data[grad.rows] -= self.lr * grad.values
+                return
         if self.weight_decay:
             grad = grad + self.weight_decay * param.data
         if self.momentum:
             velocity = self._velocity.get(index)
             if velocity is None:
                 velocity = np.zeros_like(param.data)
-            velocity = self.momentum * velocity + grad
-            self._velocity[index] = velocity
+                self._velocity[index] = velocity
+            velocity *= self.momentum
+            velocity += grad
             grad = velocity
-        param.data = param.data - self.lr * grad
+        param.data -= self.lr * grad
 
     def reset_state(self):
         self._velocity.clear()
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba) — the optimizer used for the public benchmarks."""
+    """Adam (Kingma & Ba) — the optimizer used for the public benchmarks.
+
+    Sparse gradients take a lazy row-wise path: moments of untouched rows
+    are left stale and caught up with a ``beta**skipped`` decay the next
+    time the row appears, which reproduces the dense moment recursion for
+    the touched rows without ever writing the full table.
+    """
 
     def __init__(self, params, lr, beta1=0.9, beta2=0.999, eps=1e-8):
         super().__init__(params, lr)
@@ -77,35 +114,73 @@ class Adam(Optimizer):
         self.eps = eps
         self._m = {}
         self._v = {}
+        self._last_step = {}
         self._t = 0
 
     def step(self):
         self._t += 1
         super().step()
 
+    def _slots(self, index, param):
+        m = self._m.get(index)
+        if m is None:
+            m = self._m[index] = np.zeros_like(param.data)
+            self._v[index] = np.zeros_like(param.data)
+        return m, self._v[index]
+
     def _update(self, index, param):
         grad = param.grad
-        m = self._m.get(index)
-        v = self._v.get(index)
-        if m is None:
-            m = np.zeros_like(param.data)
-            v = np.zeros_like(param.data)
-        m = self.beta1 * m + (1.0 - self.beta1) * grad
-        v = self.beta2 * v + (1.0 - self.beta2) * grad ** 2
-        self._m[index] = m
-        self._v[index] = v
+        if isinstance(grad, SparseGrad):
+            self._update_sparse(index, param, grad)
+            return
+        m, v = self._slots(index, param)
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad ** 2
         m_hat = m / (1.0 - self.beta1 ** self._t)
         v_hat = v / (1.0 - self.beta2 ** self._t)
-        param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _update_sparse(self, index, param, grad):
+        rows, values = grad.rows, grad.values
+        if not rows.size:
+            return
+        m, v = self._slots(index, param)
+        last = self._last_step.get(index)
+        if last is None:
+            # Rows start with zero moments "as of step 0".
+            last = self._last_step[index] = np.zeros(
+                param.data.shape[0], dtype=np.int64
+            )
+        # Lazy correction: decay each touched row's stale moments as if the
+        # zero-gradient steps since its last update had been applied.
+        skipped = self._t - 1 - last[rows]
+        decay1 = _row_broadcast(self.beta1 ** skipped, values.ndim)
+        decay2 = _row_broadcast(self.beta2 ** skipped, values.ndim)
+        m_rows = m[rows] * (decay1 * self.beta1) + (1.0 - self.beta1) * values
+        v_rows = v[rows] * (decay2 * self.beta2) + (1.0 - self.beta2) * values ** 2
+        m[rows] = m_rows
+        v[rows] = v_rows
+        last[rows] = self._t
+        m_hat = m_rows / (1.0 - self.beta1 ** self._t)
+        v_hat = v_rows / (1.0 - self.beta2 ** self._t)
+        param.data[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def reset_state(self):
         self._m.clear()
         self._v.clear()
+        self._last_step.clear()
         self._t = 0
 
 
 class Adagrad(Optimizer):
-    """Adagrad — used on the parameter server in the industry deployment."""
+    """Adagrad — used on the parameter server in the industry deployment.
+
+    The sparse path is *exactly* equivalent to the dense update: rows with
+    zero gradient accumulate nothing and move nothing under dense Adagrad,
+    so skipping them changes no bits.
+    """
 
     def __init__(self, params, lr, eps=1e-10):
         super().__init__(params, lr)
@@ -116,10 +191,17 @@ class Adagrad(Optimizer):
         grad = param.grad
         accum = self._accum.get(index)
         if accum is None:
-            accum = np.zeros_like(param.data)
-        accum = accum + grad ** 2
-        self._accum[index] = accum
-        param.data = param.data - self.lr * grad / (np.sqrt(accum) + self.eps)
+            accum = self._accum[index] = np.zeros_like(param.data)
+        if isinstance(grad, SparseGrad):
+            rows, values = grad.rows, grad.values
+            if not rows.size:
+                return
+            accum_rows = accum[rows] + values ** 2
+            accum[rows] = accum_rows
+            param.data[rows] -= self.lr * values / (np.sqrt(accum_rows) + self.eps)
+            return
+        accum += grad ** 2
+        param.data -= self.lr * grad / (np.sqrt(accum) + self.eps)
 
     def reset_state(self):
         self._accum.clear()

@@ -1,0 +1,186 @@
+"""Sparse row-gradients for embedding tables.
+
+MAMDR's serving story (Section IV-E) rests on cheap per-domain updates over
+huge sparse id spaces: a minibatch touches a few hundred embedding rows out
+of millions.  Representing the embedding gradient densely — a
+``zeros_like(weight)`` the size of the whole table, scatter-filled with
+``np.add.at`` — makes every training step cost O(table) instead of
+O(batch).  :class:`SparseGrad` stores only the touched rows (unique ids +
+segment-summed values) so the backward pass and the optimizer update both
+scale with the batch.
+
+Coalescing uses an ``argsort`` + ``np.add.reduceat`` segment reduction,
+which is dramatically faster than ``np.add.at``'s per-element buffered
+scatter.
+
+The dense path is kept behind :func:`use_sparse_grads` so parity tests and
+benchmarks can compare the two implementations in-process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+__all__ = [
+    "SparseGrad",
+    "accumulate_grad",
+    "use_sparse_grads",
+    "sparse_grads_enabled",
+]
+
+# Global toggle for the embedding fast path; flipped by ``use_sparse_grads``
+# (dense fallback exists for parity testing and before/after benchmarks).
+_SPARSE_ENABLED = True
+
+
+@contextlib.contextmanager
+def use_sparse_grads(enabled=True):
+    """Context manager selecting sparse (default) or dense embedding grads."""
+    global _SPARSE_ENABLED
+    previous = _SPARSE_ENABLED
+    _SPARSE_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _SPARSE_ENABLED = previous
+
+
+def sparse_grads_enabled():
+    """Whether ``F.embedding`` produces :class:`SparseGrad` backward values."""
+    return _SPARSE_ENABLED
+
+
+def _segment_sum(indices, values):
+    """Sum ``values`` rows sharing an index; returns (unique_rows, sums).
+
+    ``indices`` is 1-D int64, ``values`` is [len(indices), ...].  Sorting
+    once and reducing contiguous segments replaces ``np.add.at``'s slow
+    random scatter.
+    """
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_idx[1:] != sorted_idx[:-1]))
+    )
+    rows = sorted_idx[starts]
+    summed = np.add.reduceat(values[order], starts, axis=0)
+    return rows, summed
+
+
+class SparseGrad:
+    """A gradient that is zero except on ``rows`` of a 2-D parameter.
+
+    Attributes
+    ----------
+    shape:
+        Shape of the (dense) parameter this gradient belongs to.
+    rows:
+        Sorted, unique int64 row indices with nonzero gradient.
+    values:
+        ``[len(rows), *shape[1:]]`` float64 array of per-row gradients.
+    """
+
+    __slots__ = ("shape", "rows", "values")
+
+    def __init__(self, shape, rows, values):
+        self.shape = tuple(shape)
+        self.rows = rows
+        self.values = values
+
+    @classmethod
+    def from_lookup(cls, indices, grad, shape):
+        """Build the gradient of ``weight[indices]`` w.r.t. ``weight``.
+
+        ``indices`` may have any shape; ``grad`` has shape
+        ``indices.shape + shape[1:]``.
+        """
+        flat = np.ascontiguousarray(indices, dtype=np.int64).ravel()
+        values = np.ascontiguousarray(grad, dtype=np.float64)
+        values = values.reshape((flat.size,) + tuple(shape[1:]))
+        if flat.size == 0:
+            return cls(shape, flat, values)
+        rows, summed = _segment_sum(flat, values)
+        return cls(shape, rows, summed)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz_rows(self):
+        return len(self.rows)
+
+    @property
+    def nbytes(self):
+        return self.rows.nbytes + self.values.nbytes
+
+    def __repr__(self):
+        return f"SparseGrad(shape={self.shape}, nnz_rows={self.nnz_rows})"
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_dense(self):
+        """Materialize the full dense gradient (slow path / interop)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        if self.rows.size:
+            dense[self.rows] = self.values
+        return dense
+
+    def __array__(self, dtype=None, copy=None):
+        dense = self.to_dense()
+        return dense.astype(dtype) if dtype is not None else dense
+
+    def __getitem__(self, index):
+        # Array-style interop for inspection code; materializes the dense
+        # view, so keep it off hot paths.
+        return self.to_dense()[index]
+
+    def copy(self):
+        return SparseGrad(self.shape, self.rows.copy(), self.values.copy())
+
+    # ------------------------------------------------------------------
+    # Arithmetic needed by gradient accumulation
+    # ------------------------------------------------------------------
+    def scale(self, factor):
+        return SparseGrad(self.shape, self.rows, self.values * factor)
+
+    def merge(self, other):
+        """Coalesced sum with another :class:`SparseGrad` (same shape)."""
+        if self.shape != other.shape:
+            raise ValueError(
+                f"cannot merge SparseGrad shapes {self.shape} and {other.shape}"
+            )
+        if not other.rows.size:
+            return self
+        if not self.rows.size:
+            return other
+        rows = np.concatenate((self.rows, other.rows))
+        values = np.concatenate((self.values, other.values), axis=0)
+        rows, values = _segment_sum(rows, values)
+        return SparseGrad(self.shape, rows, values)
+
+    def add_to_dense(self, dense):
+        """Return ``dense + self`` as a new dense array (input untouched)."""
+        out = np.array(dense, dtype=np.float64)
+        if self.rows.size:
+            # rows are unique, so fancy-index += is a correct scatter-add.
+            out[self.rows] += self.values
+        return out
+
+
+def accumulate_grad(a, b):
+    """Sum two gradient contributions, either of which may be sparse.
+
+    Used by :meth:`Tensor.backward` when several graph paths reach the same
+    tensor (e.g. an embedding table looked up twice, or an embedding also
+    touched densely by an L2 penalty).
+    """
+    if isinstance(a, SparseGrad):
+        if isinstance(b, SparseGrad):
+            return a.merge(b)
+        return a.add_to_dense(b)
+    if isinstance(b, SparseGrad):
+        return b.add_to_dense(a)
+    return a + b

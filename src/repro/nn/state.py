@@ -20,9 +20,13 @@ __all__ = [
     "clone_state",
     "zeros_like_state",
     "state_add",
+    "state_add_",
     "state_sub",
+    "state_sub_",
     "state_scale",
+    "state_scale_",
     "state_interpolate",
+    "state_interpolate_",
     "state_dot",
     "state_norm",
     "state_allclose",
@@ -69,6 +73,51 @@ def state_interpolate(origin, target, step):
         (name, origin[name] + step * (target[name] - origin[name]))
         for name in origin
     )
+
+
+# ----------------------------------------------------------------------
+# In-place variants — the DN/DR inner loops run one of these per meta-step,
+# and the out-of-place forms allocate a fresh full-model state dict each
+# time.  The mutated left operand must be *owned* by the caller (cloned or
+# freshly built); ``target``/``b`` may be any name->ndarray mapping, so a
+# zero-copy view of live model parameters works.
+# ----------------------------------------------------------------------
+
+def state_add_(a, b, scale=1.0):
+    """In-place ``a += scale * b``; returns ``a``."""
+    _check_keys(a, b)
+    for name, value in a.items():
+        if scale == 1.0:
+            value += b[name]
+        else:
+            value += scale * b[name]
+    return a
+
+
+def state_sub_(a, b):
+    """In-place ``a -= b``; returns ``a``."""
+    _check_keys(a, b)
+    for name, value in a.items():
+        value -= b[name]
+    return a
+
+
+def state_scale_(a, scale):
+    """In-place ``a *= scale``; returns ``a``."""
+    for value in a.values():
+        value *= scale
+    return a
+
+
+def state_interpolate_(origin, target, step):
+    """In-place ``origin += step * (target - origin)``; returns ``origin``.
+
+    The meta-update of Eqs. 3 and 8 without allocating a result state.
+    """
+    _check_keys(origin, target)
+    for name, value in origin.items():
+        value += step * (target[name] - value)
+    return origin
 
 
 def state_dot(a, b):

@@ -19,6 +19,8 @@ import contextlib
 
 import numpy as np
 
+from .sparse import SparseGrad, accumulate_grad
+
 __all__ = [
     "Tensor",
     "as_tensor",
@@ -193,15 +195,24 @@ class Tensor:
             if node_grad is None:
                 continue
             if node._backward is None:
+                # Leaves keep sparse gradients sparse: optimizers have a
+                # row-wise fast path, and densifying here would defeat it.
                 if node.requires_grad:
-                    node.grad = node_grad if node.grad is None else node.grad + node_grad
+                    node.grad = (
+                        node_grad
+                        if node.grad is None
+                        else accumulate_grad(node.grad, node_grad)
+                    )
                 continue
+            if isinstance(node_grad, SparseGrad):
+                # Interior nodes expect dense arrays in their backward fns.
+                node_grad = node_grad.to_dense()
             for parent, parent_grad in zip(node._parents, node._backward(node_grad)):
                 if parent_grad is None or not parent.requires_grad:
                     continue
                 key = id(parent)
                 if key in grads:
-                    grads[key] = grads[key] + parent_grad
+                    grads[key] = accumulate_grad(grads[key], parent_grad)
                 else:
                     grads[key] = parent_grad
 
@@ -336,6 +347,10 @@ class Tensor:
     def mean(self, axis=None, keepdims=False):
         if axis is None:
             count = self.data.size
+        elif isinstance(axis, tuple):
+            count = 1
+            for ax in axis:
+                count *= self.data.shape[ax]
         else:
             count = self.data.shape[axis]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)

@@ -1,0 +1,145 @@
+"""Per-op wall-time and allocation profiling for the training hot path.
+
+The instrumented ops (embedding forward/backward, fused kernels, optimizer
+steps, training steps) call :func:`tick`/:func:`tock`, which are free when
+no profile is active: ``tick`` returns ``None`` after a single list check,
+and ``tock`` returns immediately on ``None``.
+
+Usage::
+
+    from repro.utils import profiling
+
+    with profiling.profile() as prof:
+        framework.fit(model, dataset, config)
+    print(prof.render())
+
+A :class:`Profile` is itself a context manager, so callers that need to
+hold onto it (e.g. ``experiments.runner.run_method(..., profiler=prof)``)
+can create it first and enter it around the expensive region.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "OpStats",
+    "Profile",
+    "profile",
+    "is_active",
+    "tick",
+    "tock",
+    "record",
+]
+
+# Stack of active profiles; every instrumented op reports to all of them so
+# profiles can nest (e.g. a whole-run profile around a per-epoch one).
+_STACK = []
+
+
+@dataclass
+class OpStats:
+    """Aggregated counters for one named operation."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    bytes_allocated: int = 0
+
+    @property
+    def mean_seconds(self):
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+class Profile:
+    """A collection of per-op counters gathered while the profile is active."""
+
+    def __init__(self):
+        self.ops = {}
+
+    def __enter__(self):
+        _STACK.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _STACK.remove(self)
+        return False
+
+    def add(self, name, seconds, nbytes=0):
+        stats = self.ops.get(name)
+        if stats is None:
+            stats = self.ops[name] = OpStats()
+        stats.calls += 1
+        stats.seconds += seconds
+        stats.bytes_allocated += nbytes
+
+    def total_seconds(self):
+        return sum(stats.seconds for stats in self.ops.values())
+
+    def as_dict(self):
+        """JSON-friendly summary, sorted by total time descending."""
+        return {
+            name: {
+                "calls": stats.calls,
+                "seconds": stats.seconds,
+                "mean_seconds": stats.mean_seconds,
+                "bytes_allocated": stats.bytes_allocated,
+            }
+            for name, stats in sorted(
+                self.ops.items(), key=lambda kv: -kv[1].seconds
+            )
+        }
+
+    def render(self, title="Profile"):
+        """Human-readable table of the collected counters."""
+        from .tables import format_table
+
+        rows = [
+            [
+                name,
+                str(stats.calls),
+                f"{stats.seconds * 1e3:.2f}",
+                f"{stats.mean_seconds * 1e6:.1f}",
+                f"{stats.bytes_allocated / 1e6:.2f}",
+            ]
+            for name, stats in sorted(
+                self.ops.items(), key=lambda kv: -kv[1].seconds
+            )
+        ]
+        return format_table(
+            ["Op", "Calls", "Total ms", "Mean µs", "Alloc MB"], rows, title=title
+        )
+
+
+@contextlib.contextmanager
+def profile():
+    """Activate a fresh :class:`Profile` for the enclosed block."""
+    prof = Profile()
+    with prof:
+        yield prof
+
+
+def is_active():
+    """Whether any profile is currently collecting."""
+    return bool(_STACK)
+
+
+def tick():
+    """Start a timing; returns ``None`` (free) when profiling is off."""
+    return time.perf_counter() if _STACK else None
+
+
+def tock(name, start, nbytes=0):
+    """Finish a timing started by :func:`tick` and record it."""
+    if start is None:
+        return
+    elapsed = time.perf_counter() - start
+    for prof in _STACK:
+        prof.add(name, elapsed, nbytes)
+
+
+def record(name, seconds, nbytes=0):
+    """Record an externally measured duration under ``name``."""
+    for prof in _STACK:
+        prof.add(name, seconds, nbytes)

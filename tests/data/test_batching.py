@@ -70,3 +70,23 @@ def test_sample_batch_empty_table_rejected():
     )
     with pytest.raises(ValueError):
         sample_batch(empty, 0, 4, np.random.default_rng(0))
+
+
+def test_unshuffled_batches_are_views_not_copies():
+    table = make_table(10)
+    batches = list(iter_minibatches(table, 0, 4, rng=None))
+    assert [len(b) for b in batches] == [4, 4, 2]
+    for batch in batches:
+        assert np.shares_memory(batch.users, table.users)
+        assert np.shares_memory(batch.items, table.items)
+        assert np.shares_memory(batch.labels, table.labels)
+    np.testing.assert_array_equal(
+        np.concatenate([b.users for b in batches]), table.users
+    )
+
+
+def test_shuffled_batches_are_copies():
+    table = make_table(10)
+    rng = np.random.default_rng(0)
+    for batch in iter_minibatches(table, 0, 4, rng=rng):
+        assert not np.shares_memory(batch.users, table.users)

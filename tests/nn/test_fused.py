@@ -1,0 +1,158 @@
+"""Fused kernels (bce_with_logits, fused_dense) vs their composed references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Tensor
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(13)
+
+ACTIVATION_REFS = {
+    "linear": lambda t: t,
+    "relu": lambda t: t.relu(),
+    "sigmoid": lambda t: t.sigmoid(),
+    "tanh": lambda t: t.tanh(),
+}
+
+
+def grads_of(loss_fn, *arrays):
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    loss = loss_fn(*tensors)
+    loss.backward()
+    return loss.item(), [t.grad for t in tensors]
+
+
+# ----------------------------------------------------------------------
+# Fused BCE-with-logits
+# ----------------------------------------------------------------------
+
+def test_bce_fused_matches_reference_value_and_grads():
+    logits = RNG.normal(size=64) * 4.0
+    labels = RNG.integers(0, 2, size=64).astype(float)
+    fused_val, (fused_gl, fused_gy) = grads_of(F.bce_with_logits, logits, labels)
+    ref_val, (ref_gl, ref_gy) = grads_of(F.bce_with_logits_reference, logits, labels)
+    assert fused_val == pytest.approx(ref_val, abs=1e-12)
+    np.testing.assert_allclose(fused_gl, ref_gl, atol=1e-8)
+    np.testing.assert_allclose(fused_gy, ref_gy, atol=1e-8)
+
+
+def test_bce_fused_soft_labels_and_weights():
+    logits = RNG.normal(size=32)
+    labels = RNG.random(32)  # soft labels
+    weights = RNG.random(32) + 0.1
+    fused_val, fused_grads = grads_of(
+        lambda l, y, w: F.bce_with_logits(l, y, sample_weight=w),
+        logits, labels, weights,
+    )
+    ref_val, ref_grads = grads_of(
+        lambda l, y, w: F.bce_with_logits_reference(l, y, sample_weight=w),
+        logits, labels, weights,
+    )
+    assert fused_val == pytest.approx(ref_val, abs=1e-12)
+    for fused_g, ref_g in zip(fused_grads, ref_grads):
+        np.testing.assert_allclose(fused_g, ref_g, atol=1e-8)
+
+
+def test_bce_fused_extreme_logits_stable():
+    logits = np.array([-800.0, -5.0, 0.0, 5.0, 800.0])
+    labels = np.array([0.0, 1.0, 0.0, 1.0, 1.0])
+    val, (grad_logits, _) = grads_of(F.bce_with_logits, logits, labels)
+    assert np.isfinite(val)
+    assert np.isfinite(grad_logits).all()
+
+
+def test_bce_fused_gradcheck_finite_difference():
+    logits = RNG.normal(size=8)
+    labels = RNG.integers(0, 2, size=8).astype(float)
+
+    t = Tensor(logits.copy(), requires_grad=True)
+    F.bce_with_logits(t, labels).backward()
+    analytic = t.grad
+
+    eps = 1e-6
+    numeric = np.zeros_like(logits)
+    for i in range(logits.size):
+        bumped = logits.copy()
+        bumped[i] += eps
+        up = F.bce_with_logits(Tensor(bumped), labels).item()
+        bumped[i] -= 2 * eps
+        down = F.bce_with_logits(Tensor(bumped), labels).item()
+        numeric[i] = (up - down) / (2 * eps)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+def test_bce_fused_is_single_node():
+    logits = Tensor(RNG.normal(size=4), requires_grad=True)
+    loss = F.bce_with_logits(logits, np.ones(4))
+    assert loss._parents and loss._parents[0] is logits
+
+
+# ----------------------------------------------------------------------
+# Fused Dense (matmul + bias + activation)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("activation", sorted(ACTIVATION_REFS))
+@pytest.mark.parametrize("use_bias", [True, False])
+def test_fused_dense_matches_composition(activation, use_bias):
+    x = RNG.normal(size=(6, 5))
+    w = RNG.normal(size=(5, 3))
+    b = RNG.normal(size=3)
+    ref_act = ACTIVATION_REFS[activation]
+
+    def fused(*tensors):
+        xt, wt = tensors[0], tensors[1]
+        bt = tensors[2] if use_bias else None
+        return (F.fused_dense(xt, wt, bt, activation=activation) ** 2).sum()
+
+    def composed(*tensors):
+        xt, wt = tensors[0], tensors[1]
+        out = xt @ wt
+        if use_bias:
+            out = out + tensors[2]
+        return (ref_act(out) ** 2).sum()
+
+    arrays = (x, w, b) if use_bias else (x, w)
+    fused_val, fused_grads = grads_of(fused, *arrays)
+    ref_val, ref_grads = grads_of(composed, *arrays)
+    assert fused_val == pytest.approx(ref_val, abs=1e-10)
+    for fused_g, ref_g in zip(fused_grads, ref_grads):
+        np.testing.assert_allclose(fused_g, ref_g, atol=1e-8)
+
+
+def test_fused_dense_batched_3d():
+    x = RNG.normal(size=(2, 4, 5))
+    w = RNG.normal(size=(5, 3))
+    b = RNG.normal(size=3)
+    fused_val, fused_grads = grads_of(
+        lambda xt, wt, bt: (F.fused_dense(xt, wt, bt, "relu") ** 2).sum(),
+        x, w, b,
+    )
+    ref_val, ref_grads = grads_of(
+        lambda xt, wt, bt: (((xt @ wt) + bt).relu() ** 2).sum(), x, w, b
+    )
+    assert fused_val == pytest.approx(ref_val, abs=1e-10)
+    for fused_g, ref_g in zip(fused_grads, ref_grads):
+        np.testing.assert_allclose(fused_g, ref_g, atol=1e-8)
+
+
+def test_fused_dense_rejects_unknown_activation():
+    with pytest.raises(ValueError):
+        F.fused_dense(Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))),
+                      activation="softsign")
+
+
+def test_dense_layer_uses_fused_kernel_and_matches_manual():
+    layer = Dense(4, 3, np.random.default_rng(0), activation="relu")
+    x = Tensor(RNG.normal(size=(5, 4)), requires_grad=True)
+    out = layer(x)
+    # one node: Dense output's parents are (x, weight, bias) directly
+    assert out._parents[0] is x
+    assert out._parents[1] is layer.weight
+    manual = (x.detach() @ layer.weight.detach() + layer.bias.detach()).relu()
+    np.testing.assert_allclose(out.data, manual.data, atol=1e-12)
+
+    (out * out).sum().backward()
+    assert layer.weight.grad is not None and np.isfinite(layer.weight.grad).all()

@@ -1,0 +1,322 @@
+"""Sparse-gradient fast path: parity with the dense reference everywhere.
+
+The contract under test: with sparse gradients enabled (the default), every
+observable number — embedding gradients, optimizer updates, accumulated
+multi-path gradients — matches the dense ``np.add.at`` + full-table-update
+reference to float64 rounding, while untouched rows are never written.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adagrad,
+    Adam,
+    Embedding,
+    Parameter,
+    SparseGrad,
+    Tensor,
+    sparse_grads_enabled,
+    use_sparse_grads,
+)
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(7)
+
+
+def add_at_reference(shape, indices, grad_rows):
+    dense = np.zeros(shape)
+    np.add.at(dense, indices, grad_rows)
+    return dense
+
+
+# ----------------------------------------------------------------------
+# SparseGrad mechanics
+# ----------------------------------------------------------------------
+
+def test_from_lookup_coalesces_duplicate_rows():
+    indices = np.array([3, 1, 3, 3, 0, 1])
+    grads = RNG.normal(size=(6, 4))
+    sg = SparseGrad.from_lookup(indices, grads, (8, 4))
+    assert sg.nnz_rows == 3
+    np.testing.assert_array_equal(sg.rows, [0, 1, 3])
+    np.testing.assert_allclose(
+        sg.to_dense(), add_at_reference((8, 4), indices, grads), atol=0
+    )
+
+
+def test_from_lookup_empty_batch():
+    sg = SparseGrad.from_lookup(np.empty(0, dtype=np.int64),
+                                np.empty((0, 4)), (5, 4))
+    assert sg.nnz_rows == 0
+    np.testing.assert_array_equal(sg.to_dense(), np.zeros((5, 4)))
+
+
+def test_merge_matches_dense_sum():
+    a = SparseGrad.from_lookup(np.array([0, 2]), RNG.normal(size=(2, 3)), (6, 3))
+    b = SparseGrad.from_lookup(np.array([2, 5]), RNG.normal(size=(2, 3)), (6, 3))
+    merged = a.merge(b)
+    np.testing.assert_allclose(merged.to_dense(), a.to_dense() + b.to_dense())
+    assert merged.nnz_rows == 3
+
+
+def test_add_to_dense_leaves_input_untouched():
+    sg = SparseGrad.from_lookup(np.array([1]), np.ones((1, 2)), (3, 2))
+    dense = np.zeros((3, 2))
+    out = sg.add_to_dense(dense)
+    assert out is not dense
+    np.testing.assert_array_equal(dense, 0.0)
+    np.testing.assert_array_equal(out, sg.to_dense())
+
+
+def test_array_interop():
+    sg = SparseGrad.from_lookup(np.array([0, 0]), np.ones((2, 2)), (3, 2))
+    np.testing.assert_allclose(np.asarray(sg)[0], [2.0, 2.0])
+    np.testing.assert_allclose(sg[0], [2.0, 2.0])
+    assert sg.copy().rows is not sg.rows
+
+
+# ----------------------------------------------------------------------
+# Embedding backward parity (sparse vs np.add.at reference)
+# ----------------------------------------------------------------------
+
+def embedding_grad(enabled, indices, weight_init, coeff):
+    with use_sparse_grads(enabled):
+        weight = Parameter(weight_init.copy())
+        out = F.embedding(weight, indices)
+        (out * Tensor(coeff)).sum().backward()
+        grad = weight.grad
+    return np.asarray(grad), grad
+
+
+def test_embedding_backward_sparse_matches_dense():
+    indices = RNG.integers(0, 20, size=64)
+    weight_init = RNG.normal(size=(20, 8))
+    coeff = RNG.normal(size=(64, 8))
+    dense_grad, raw_dense = embedding_grad(False, indices, weight_init, coeff)
+    sparse_grad, raw_sparse = embedding_grad(True, indices, weight_init, coeff)
+    assert isinstance(raw_dense, np.ndarray)
+    assert isinstance(raw_sparse, SparseGrad)
+    np.testing.assert_allclose(sparse_grad, dense_grad, atol=1e-8)
+
+
+def test_embedding_backward_multidim_indices():
+    indices = RNG.integers(0, 10, size=(4, 3))
+    weight_init = RNG.normal(size=(10, 5))
+    coeff = RNG.normal(size=(4, 3, 5))
+    dense_grad, _ = embedding_grad(False, indices, weight_init, coeff)
+    sparse_grad, _ = embedding_grad(True, indices, weight_init, coeff)
+    np.testing.assert_allclose(sparse_grad, dense_grad, atol=1e-8)
+
+
+def test_embedding_gradcheck_finite_difference():
+    """Sparse embedding backward against central finite differences."""
+    indices = np.array([0, 2, 2, 4])
+    weight_init = RNG.normal(size=(5, 3))
+
+    def loss_value(w):
+        return float((w[indices] ** 2).sum())
+
+    weight = Parameter(weight_init.copy())
+    out = F.embedding(weight, indices)
+    (out * out).sum().backward()
+    analytic = np.asarray(weight.grad)
+
+    eps = 1e-6
+    numeric = np.zeros_like(weight_init)
+    for i in range(weight_init.size):
+        bumped = weight_init.copy().ravel()
+        bumped[i] += eps
+        up = loss_value(bumped.reshape(weight_init.shape))
+        bumped[i] -= 2 * eps
+        down = loss_value(bumped.reshape(weight_init.shape))
+        numeric.ravel()[i] = (up - down) / (2 * eps)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+def test_double_lookup_accumulates_sparse():
+    """Two lookups on one table merge into one coalesced SparseGrad."""
+    weight_init = RNG.normal(size=(12, 4))
+    first = np.array([1, 5, 5])
+    second = np.array([5, 9])
+
+    def run(enabled):
+        with use_sparse_grads(enabled):
+            weight = Parameter(weight_init.copy())
+            loss = F.embedding(weight, first).sum() + F.embedding(weight, second).sum()
+            loss.backward()
+            return weight.grad
+
+    sparse = run(True)
+    dense = run(False)
+    assert isinstance(sparse, SparseGrad)
+    np.testing.assert_allclose(np.asarray(sparse), dense, atol=1e-8)
+
+
+def test_sparse_plus_dense_accumulation():
+    """An embedding also touched densely (L2 penalty) densifies correctly."""
+    weight_init = RNG.normal(size=(9, 3))
+
+    def run(enabled):
+        with use_sparse_grads(enabled):
+            weight = Parameter(weight_init.copy())
+            loss = F.embedding(weight, np.array([2, 2, 7])).sum()
+            loss = loss + 0.5 * F.l2_penalty([weight])
+            loss.backward()
+            return np.asarray(weight.grad)
+
+    np.testing.assert_allclose(run(True), run(False), atol=1e-8)
+
+
+def test_sparse_grad_through_interior_node_densifies():
+    """A sparse grad reaching a non-leaf node is densified before its
+    backward fn runs (the embedding table is itself a computed tensor)."""
+    base = Tensor(RNG.normal(size=(6, 3)), requires_grad=True)
+    table = base * 2.0
+    out = F.embedding(table, np.array([1, 4]))
+    out.sum().backward()
+    expected = np.zeros((6, 3))
+    expected[[1, 4]] = 2.0
+    np.testing.assert_allclose(base.grad, expected)
+
+
+def test_use_sparse_grads_toggle_restores():
+    assert sparse_grads_enabled()
+    with use_sparse_grads(False):
+        assert not sparse_grads_enabled()
+        with use_sparse_grads(True):
+            assert sparse_grads_enabled()
+        assert not sparse_grads_enabled()
+    assert sparse_grads_enabled()
+
+
+# ----------------------------------------------------------------------
+# Sparse optimizer updates vs dense reference
+# ----------------------------------------------------------------------
+
+def make_grad_pair(shape, rows, rng):
+    values = rng.normal(size=(len(rows),) + shape[1:])
+    sparse = SparseGrad(shape, np.asarray(rows, dtype=np.int64), values.copy())
+    dense = np.zeros(shape)
+    dense[list(rows)] = values
+    return sparse, dense
+
+
+@pytest.mark.parametrize("cls,kwargs", [
+    (SGD, {}),
+    (Adam, {}),
+    (Adagrad, {}),
+])
+def test_sparse_step_matches_dense_on_touched_rows(cls, kwargs):
+    rng = np.random.default_rng(3)
+    init = rng.normal(size=(10, 4))
+    p_sparse = Parameter(init.copy())
+    p_dense = Parameter(init.copy())
+    opt_sparse = cls([p_sparse], 0.1, **kwargs)
+    opt_dense = cls([p_dense], 0.1, **kwargs)
+
+    rows = [1, 4, 7]
+    untouched = [0, 2, 3, 5, 6, 8, 9]
+    for _ in range(5):  # same rows every step: exact dense equivalence
+        sparse_grad, dense_grad = make_grad_pair((10, 4), rows, rng)
+        p_sparse.grad = sparse_grad
+        p_dense.grad = dense_grad
+        opt_sparse.step()
+        opt_dense.step()
+
+    np.testing.assert_allclose(
+        p_sparse.data[rows], p_dense.data[rows], rtol=0, atol=1e-12
+    )
+    # untouched rows were never written: bit-identical to the init
+    np.testing.assert_array_equal(p_sparse.data[untouched], init[untouched])
+
+
+def test_adagrad_sparse_exactly_matches_dense_with_varying_rows():
+    """Adagrad's zero-grad rows don't move under the dense update either,
+    so sparse and dense agree on *every* row even when rows vary."""
+    rng = np.random.default_rng(5)
+    init = rng.normal(size=(8, 3))
+    p_sparse, p_dense = Parameter(init.copy()), Parameter(init.copy())
+    opt_sparse = Adagrad([p_sparse], 0.5)
+    opt_dense = Adagrad([p_dense], 0.5)
+    for rows in ([0, 3], [3, 6], [1], [0, 6, 7]):
+        sparse_grad, dense_grad = make_grad_pair((8, 3), rows, rng)
+        p_sparse.grad = sparse_grad
+        p_dense.grad = dense_grad
+        opt_sparse.step()
+        opt_dense.step()
+    np.testing.assert_allclose(p_sparse.data, p_dense.data, rtol=0, atol=1e-12)
+
+
+def test_adam_lazy_correction_decays_skipped_moments():
+    """A row touched at steps 1 and 3 must carry the same moments as dense
+    Adam (which decayed them by beta at the zero-gradient step 2)."""
+    rng = np.random.default_rng(9)
+    init = rng.normal(size=(6, 2))
+    p_sparse, p_dense = Parameter(init.copy()), Parameter(init.copy())
+    opt_sparse = Adam([p_sparse], 0.1)
+    opt_dense = Adam([p_dense], 0.1)
+
+    g1 = rng.normal(size=(1, 2))
+    g3 = rng.normal(size=(1, 2))
+    schedule = [([2], g1), ([], None), ([2], g3)]
+    for rows, values in schedule:
+        if rows:
+            p_sparse.grad = SparseGrad((6, 2), np.asarray(rows), values.copy())
+            dense = np.zeros((6, 2))
+            dense[rows] = values
+        else:
+            p_sparse.grad = SparseGrad(
+                (6, 2), np.empty(0, dtype=np.int64), np.empty((0, 2))
+            )
+            dense = np.zeros((6, 2))
+        p_dense.grad = dense
+        opt_sparse.step()
+        opt_dense.step()
+
+    # Moments of the touched row match the dense recursion exactly.
+    np.testing.assert_allclose(opt_sparse._m[0][2], opt_dense._m[0][2], atol=1e-14)
+    np.testing.assert_allclose(opt_sparse._v[0][2], opt_dense._v[0][2], atol=1e-14)
+    # Rows never touched were never written.
+    never = [0, 1, 3, 4, 5]
+    np.testing.assert_array_equal(p_sparse.data[never], init[never])
+
+
+def test_sgd_momentum_falls_back_to_dense():
+    rng = np.random.default_rng(11)
+    init = rng.normal(size=(5, 2))
+    p = Parameter(init.copy())
+    opt = SGD([p], 0.1, momentum=0.9)
+    sparse_grad, dense_grad = make_grad_pair((5, 2), [1, 3], rng)
+    p.grad = sparse_grad
+    opt.step()
+
+    p_ref = Parameter(init.copy())
+    opt_ref = SGD([p_ref], 0.1, momentum=0.9)
+    p_ref.grad = dense_grad
+    opt_ref.step()
+    np.testing.assert_allclose(p.data, p_ref.data, atol=1e-12)
+
+
+def test_training_with_embedding_model_sparse_matches_dense():
+    """End-to-end: a few SGD steps through Embedding + loss, both paths."""
+    def run(enabled):
+        with use_sparse_grads(enabled):
+            rng = np.random.default_rng(1)
+            emb = Embedding(30, 4, rng)
+            opt = SGD(list(emb.parameters()), 0.5)
+            data_rng = np.random.default_rng(2)
+            for _ in range(4):
+                ids = data_rng.integers(0, 30, size=16)
+                labels = data_rng.integers(0, 2, size=16).astype(float)
+                logits = emb(ids).sum(axis=1)
+                loss = F.bce_with_logits(logits, labels)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return emb.weight.data.copy()
+
+    np.testing.assert_allclose(run(True), run(False), atol=1e-12)

@@ -95,3 +95,56 @@ def test_dot_bilinear(seed):
     lhs = state_dot(state_add(a, b), c)
     rhs = state_dot(a, c) + state_dot(b, c)
     assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+def test_inplace_variants_match_out_of_place():
+    from repro.nn import state_add_, state_interpolate_, state_scale_, state_sub_
+
+    rng = np.random.default_rng(42)
+    a, b = make_state(rng), make_state(rng)
+
+    expected = state_add(a, b, scale=0.5)
+    target = clone_state(a)
+    assert state_add_(target, b, scale=0.5) is target
+    assert state_allclose(target, expected)
+
+    expected = state_sub(a, b)
+    target = clone_state(a)
+    assert state_sub_(target, b) is target
+    assert state_allclose(target, expected)
+
+    expected = state_scale(a, -2.0)
+    target = clone_state(a)
+    assert state_scale_(target, -2.0) is target
+    assert state_allclose(target, expected)
+
+    expected = state_interpolate(a, b, 0.3)
+    target = clone_state(a)
+    assert state_interpolate_(target, b, 0.3) is target
+    assert state_allclose(target, expected)
+    # the right operand is never written
+    assert state_allclose(b, b)
+
+
+def test_inplace_interpolate_accepts_parameter_view():
+    """state_interpolate_ works against a zero-copy {name: param.data} view."""
+    from repro.nn import Parameter, state_interpolate_
+
+    rng = np.random.default_rng(7)
+    origin = make_state(rng)
+    params = {key: Parameter(rng.normal(size=(2, 3))) for key in origin}
+    view = {key: p.data for key, p in params.items()}
+    expected = state_interpolate(origin, {k: v.copy() for k, v in view.items()}, 0.5)
+    result = state_interpolate_(clone_state(origin), view, 0.5)
+    assert state_allclose(result, expected)
+    # the live parameters are untouched
+    for key, p in params.items():
+        np.testing.assert_array_equal(p.data, view[key])
+
+
+def test_inplace_mismatched_keys_rejected():
+    from repro.nn import state_add_
+
+    rng = np.random.default_rng(0)
+    with pytest.raises(KeyError):
+        state_add_(make_state(rng, keys=("a",)), make_state(rng, keys=("a", "b")))

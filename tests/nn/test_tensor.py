@@ -109,3 +109,23 @@ def test_no_graph_recorded_for_non_grad_inputs():
     c = a + b
     assert c._backward is None
     assert c._parents == ()
+
+
+def test_mean_over_tuple_axis():
+    x = np.arange(24, dtype=float).reshape(2, 3, 4)
+    t = Tensor(x, requires_grad=True)
+    out = t.mean(axis=(0, 1))
+    np.testing.assert_allclose(out.data, x.mean(axis=(0, 1)))
+    out.sum().backward()
+    # each output element averages 2*3 = 6 inputs
+    np.testing.assert_allclose(t.grad, np.full_like(x, 1.0 / 6.0))
+
+
+def test_mean_over_tuple_axis_keepdims_and_negative():
+    x = np.arange(12, dtype=float).reshape(3, 4)
+    t = Tensor(x, requires_grad=True)
+    out = t.mean(axis=(-2, -1), keepdims=True)
+    assert out.shape == (1, 1)
+    np.testing.assert_allclose(out.data, x.mean(axis=(0, 1), keepdims=True))
+    out.sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, 1.0 / 12.0))

@@ -1,0 +1,79 @@
+"""Profiling harness: per-op counters, nesting, and the runner hook."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import TrainConfig
+from repro.experiments.runner import MethodSpec, run_method
+from repro.nn import SGD, Embedding
+from repro.nn import functional as F
+from repro.utils import profiling
+
+from tests.conftest import make_tiny_dataset
+
+
+def tiny_train_step():
+    rng = np.random.default_rng(0)
+    emb = Embedding(20, 4, rng)
+    opt = SGD(list(emb.parameters()), 0.1)
+    ids = np.array([1, 3, 3, 7])
+    labels = np.array([1.0, 0.0, 1.0, 0.0])
+    loss = F.bce_with_logits(emb(ids).sum(axis=1), labels)
+    opt.zero_grad()
+    loss.backward()
+    opt.step()
+
+
+def test_tick_is_free_when_inactive():
+    assert not profiling.is_active()
+    assert profiling.tick() is None
+    profiling.tock("nothing", None)  # must be a no-op, not an error
+
+
+def test_profile_collects_hot_path_ops():
+    with profiling.profile() as prof:
+        tiny_train_step()
+    assert not profiling.is_active()
+    ops = prof.ops
+    assert ops["embedding.forward"].calls == 1
+    assert ops["embedding.backward.sparse"].calls == 1
+    assert ops["loss.bce_fused_forward"].calls == 1
+    assert ops["optim.step"].calls == 1
+    assert ops["embedding.forward"].bytes_allocated > 0
+    assert prof.total_seconds() > 0.0
+
+
+def test_profiles_nest():
+    outer = profiling.Profile()
+    with outer:
+        tiny_train_step()
+        with profiling.profile() as inner:
+            tiny_train_step()
+    assert outer.ops["optim.step"].calls == 2
+    assert inner.ops["optim.step"].calls == 1
+
+
+def test_render_and_as_dict():
+    with profiling.profile() as prof:
+        tiny_train_step()
+    table = prof.render(title="hot path")
+    assert "embedding.forward" in table and "hot path" in table
+    summary = prof.as_dict()
+    assert summary["optim.step"]["calls"] == 1
+    # sorted by total seconds descending
+    seconds = [entry["seconds"] for entry in summary.values()]
+    assert seconds == sorted(seconds, reverse=True)
+
+
+def test_runner_profiler_hook():
+    dataset = make_tiny_dataset("trainable", n_domains=2, samples=(60, 40))
+    config = TrainConfig(epochs=1, batch_size=16, inner_steps=2)
+    prof = profiling.Profile()
+    report = run_method(
+        MethodSpec(name="probe", model="mlp", framework="alternate"),
+        dataset, config=config, profiler=prof,
+    )
+    assert report.mean_auc > 0.0
+    assert prof.ops["train.step"].calls > 0
+    assert prof.ops["embedding.backward.sparse"].calls > 0
