@@ -72,7 +72,7 @@ class TwoTowerEmbeddingModel(Module):
 
     def __init__(self, n_users, n_items, dim, seed=0):
         super().__init__()
-        rng = np.random.default_rng(seed)
+        rng = spawn_rng(seed, "perf", "two-tower-init")
         self.user_embedding = Embedding(n_users, dim, rng)
         self.item_embedding = Embedding(n_items, dim, rng)
 
@@ -89,7 +89,7 @@ def embedding_training_step_benchmark(n_users, n_items, dim, batch_size,
     with use_sparse_grads(sparse):
         model = TwoTowerEmbeddingModel(n_users, n_items, dim, seed=seed)
         optimizer = Adam(list(model.parameters()), 1e-3)
-        data_rng = np.random.default_rng(seed + 1)
+        data_rng = spawn_rng(seed, "perf", "batches")
         users = data_rng.integers(0, n_users, size=(steps, batch_size))
         items = data_rng.integers(0, n_items, size=(steps, batch_size))
         labels = data_rng.integers(0, 2, size=(steps, batch_size)).astype(float)
@@ -108,7 +108,7 @@ def embedding_training_step_benchmark(n_users, n_items, dim, batch_size,
 
 def embedding_fwd_bwd_benchmark(n_rows, dim, batch_size, repeats, sparse):
     """Seconds for one embedding forward+backward, sparse vs dense."""
-    rng = np.random.default_rng(0)
+    rng = spawn_rng(0, "perf", "fwd-bwd")
     from repro.nn import Parameter
 
     weight = Parameter(rng.normal(size=(n_rows, dim)) * 0.01)

@@ -5,7 +5,6 @@ trains) and beta=1 — the degeneration of DN to Alternate Training — is
 worse than beta < 1.
 """
 
-import numpy as np
 from conftest import emit
 
 from repro.experiments import render_fig9, run_fig9

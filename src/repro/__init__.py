@@ -20,6 +20,9 @@ Subpackages
     Simulated PS-Worker cluster with the embedding cache of Section IV-E.
 ``repro.metrics`` / ``repro.analysis`` / ``repro.experiments``
     Evaluation, gradient-conflict probes and the table/figure harness.
+``repro.tooling``
+    Correctness tooling: the runtime autodiff sanitizer (version counters,
+    anomaly mode, graph diagnostics) and the repo-invariant AST linter.
 
 Quickstart
 ----------
@@ -35,7 +38,7 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import core, data, frameworks, metrics, models, nn, utils
+from . import core, data, frameworks, metrics, models, nn, tooling, utils
 
 __all__ = [
     "core",
@@ -44,6 +47,7 @@ __all__ = [
     "metrics",
     "models",
     "nn",
+    "tooling",
     "utils",
     "__version__",
 ]

@@ -9,7 +9,7 @@ from .config import TrainConfig
 from .mamdr import MAMDR
 from .onboarding import extend_bank, onboard_domain
 from .negotiation import DomainNegotiation, domain_negotiation_epoch
-from .param_space import DomainParameterSpace
+from .param_space import DomainParameterSpace, live_state_view
 from .selection import (
     BestTracker,
     PerDomainTracker,
@@ -36,6 +36,7 @@ __all__ = [
     "domain_regularization_round",
     "sample_helper_domains",
     "DomainParameterSpace",
+    "live_state_view",
     "BestTracker",
     "PerDomainTracker",
     "domain_split_auc",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from ..frameworks.base import LearningFramework, SingleModelBank
 from ..nn.state import clone_state, state_interpolate_
 from ..utils.seeding import spawn_rng
+from .param_space import live_state_view
 from .selection import BestTracker, model_split_auc
 from .trainer import make_inner_optimizer, train_steps
 
@@ -57,7 +58,7 @@ def domain_negotiation_epoch(model, dataset, shared_state, config, rng,
     # Eq. 3 without materializing model.state_dict(): interpolate the owned
     # clone toward a zero-copy view of the live parameters (one full-state
     # allocation per DN epoch instead of two).
-    current = {name: param.data for name, param in model.named_parameters()}
+    current = live_state_view(model)
     return state_interpolate_(clone_state(shared_state), current, config.outer_lr)
 
 

@@ -13,7 +13,24 @@ from collections import OrderedDict
 
 from ..nn.state import clone_state, state_add, zeros_like_state
 
-__all__ = ["DomainParameterSpace"]
+__all__ = ["DomainParameterSpace", "live_state_view"]
+
+
+def live_state_view(model):
+    """Zero-copy ``{name: ndarray}`` view of a model's live parameters.
+
+    The arrays *are* the parameter buffers — no copy is made, which is why
+    the DN/DR meta-updates can read "the end of the inner trajectory"
+    without allocating a full state dict.  Mutating these arrays mutates
+    the model; the in-place ops in ``repro.nn.state`` report such
+    mutations to the sanitizer, whose version counters trace them back to
+    the owning :class:`~repro.nn.module.Parameter` (see
+    ``repro.tooling.sanitizer``), so use the state ops — not ad-hoc numpy
+    writes — if you must mutate through a view.
+    """
+    return OrderedDict(
+        (name, param.data) for name, param in model.named_parameters()
+    )
 
 
 class DomainParameterSpace:

@@ -50,6 +50,7 @@ def compute_loss_gradient(model, batch):
             # Callers (PCGrad, MLDG, conflict probes) do dense state algebra
             # on these, so materialize sparse embedding grads here.
             grads[name] = (
+                # lint: allow[dense-grad-materialization] — sanctioned interop.
                 grad.to_dense() if isinstance(grad, SparseGrad) else grad.copy()
             )
     return loss.item(), grads

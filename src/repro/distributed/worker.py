@@ -79,7 +79,12 @@ class Worker:
         """One inner loop over this worker's shard; pushes the delta."""
         static_dense = self.ps.pull_dense()
         for name, value in static_dense.items():
-            self._named[name].data = value.copy()
+            param = self._named[name]
+            # The worker is the PS deployment's optimizer-equivalent; it
+            # rebinds buffers between graphs, never mid-graph.
+            # lint: allow[data-mutation]
+            param.data = value.copy()
+            param.bump_version()
 
         order = list(self.domain_indices)
         rng.shuffle(order)
@@ -117,7 +122,12 @@ class Worker:
         for name, field in self.field_map.items():
             ids = np.unique(getattr(batch, field))
             rows = self.caches[name].fetch(ids)
-            self._named[name].data[ids] = rows
+            param = self._named[name]
+            # Row materialization from the embedding cache happens before
+            # the batch's graph is built.
+            # lint: allow[data-mutation]
+            param.data[ids] = rows
+            param.bump_version()
             touched[name] = ids
         return touched
 

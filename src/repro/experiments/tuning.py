@@ -13,7 +13,6 @@ import itertools
 
 from ..core import TrainConfig
 from ..utils.tables import format_table
-from .runner import MethodSpec
 
 __all__ = ["GridSearchResult", "grid_search"]
 

@@ -18,7 +18,6 @@ from ..nn import (
     PartitionedNorm,
     glorot_uniform,
 )
-from ..nn import functional as F
 from ..nn import init
 from .base import CTRModel
 

@@ -13,6 +13,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..tooling import sanitizer as _sanitizer
 from .tensor import Tensor
 
 __all__ = ["Parameter", "Module", "ModuleList"]
@@ -23,6 +24,10 @@ class Parameter(Tensor):
 
     def __init__(self, data):
         super().__init__(np.array(data, dtype=np.float64), requires_grad=True)
+        # Parameters are the tensors whose buffers escape as raw arrays
+        # (state dicts, zero-copy views); registering ownership lets the
+        # sanitizer trace an in-place view mutation back to this tensor.
+        _sanitizer.register_owner(self.data, self)
 
 
 class Module:
@@ -100,7 +105,10 @@ class Module:
                     f"shape mismatch for {name!r}: "
                     f"expected {param.data.shape}, got {value.shape}"
                 )
+            previous = param.data
             param.data = value.copy()
+            param.bump_version()
+            _sanitizer.rebind_owner(param, previous)
 
     # ------------------------------------------------------------------
     # Mode switching

@@ -53,6 +53,9 @@ class Optimizer:
             if param.grad is None:
                 continue
             self._update(index, param)
+            # Updates mutate param.data in place; keep the sanitizer's
+            # version counter truthful (an int increment, always on).
+            param._version += 1
         profiling.tock("optim.step", start)
 
     def _update(self, index, param):

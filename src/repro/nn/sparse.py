@@ -23,6 +23,9 @@ import contextlib
 
 import numpy as np
 
+from ..tooling import sanitizer as _sanitizer
+from ..utils import profiling
+
 __all__ = [
     "SparseGrad",
     "accumulate_grad",
@@ -124,6 +127,11 @@ class SparseGrad:
     def to_dense(self):
         """Materialize the full dense gradient (slow path / interop)."""
         dense = np.zeros(self.shape, dtype=np.float64)
+        # Every densification defeats the sparse fast path; count them so
+        # the diagnostics (tooling.densify_counts, profiling) can flag
+        # unexpected O(table) materializations.
+        _sanitizer.note_densify("SparseGrad.to_dense")
+        profiling.count("sparse.densify", nbytes=dense.nbytes)
         if self.rows.size:
             dense[self.rows] = self.values
         return dense
@@ -163,6 +171,7 @@ class SparseGrad:
 
     def add_to_dense(self, dense):
         """Return ``dense + self`` as a new dense array (input untouched)."""
+        _sanitizer.note_densify("SparseGrad.add_to_dense")
         out = np.array(dense, dtype=np.float64)
         if self.rows.size:
             # rows are unique, so fancy-index += is a correct scatter-add.

@@ -16,6 +16,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..tooling import sanitizer as _sanitizer
+
 __all__ = [
     "clone_state",
     "zeros_like_state",
@@ -81,7 +83,19 @@ def state_interpolate(origin, target, step):
 # time.  The mutated left operand must be *owned* by the caller (cloned or
 # freshly built); ``target``/``b`` may be any name->ndarray mapping, so a
 # zero-copy view of live model parameters works.
+#
+# Because the left operand may itself alias live parameter buffers, each
+# in-place op reports its mutations to the sanitizer (one flag check when
+# disabled) so tensor version counters stay truthful and a mutated
+# saved-for-backward buffer is caught at backward() time.
 # ----------------------------------------------------------------------
+
+def _notify_mutations(state):
+    """Bump version counters of any tensors whose buffers ``state`` aliases."""
+    if _sanitizer._VERSION_CHECKS:
+        for value in state.values():
+            _sanitizer.notify_mutation(value)
+
 
 def state_add_(a, b, scale=1.0):
     """In-place ``a += scale * b``; returns ``a``."""
@@ -91,6 +105,7 @@ def state_add_(a, b, scale=1.0):
             value += b[name]
         else:
             value += scale * b[name]
+    _notify_mutations(a)
     return a
 
 
@@ -99,6 +114,7 @@ def state_sub_(a, b):
     _check_keys(a, b)
     for name, value in a.items():
         value -= b[name]
+    _notify_mutations(a)
     return a
 
 
@@ -106,6 +122,7 @@ def state_scale_(a, scale):
     """In-place ``a *= scale``; returns ``a``."""
     for value in a.values():
         value *= scale
+    _notify_mutations(a)
     return a
 
 
@@ -117,6 +134,7 @@ def state_interpolate_(origin, target, step):
     _check_keys(origin, target)
     for name, value in origin.items():
         value += step * (target[name] - value)
+    _notify_mutations(origin)
     return origin
 
 

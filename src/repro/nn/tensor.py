@@ -16,9 +16,11 @@ central finite differences in ``tests/nn/test_gradcheck.py``.
 from __future__ import annotations
 
 import contextlib
+from contextvars import ContextVar
 
 import numpy as np
 
+from ..tooling import sanitizer as _sanitizer
 from .sparse import SparseGrad, accumulate_grad
 
 __all__ = [
@@ -29,26 +31,26 @@ __all__ = [
     "unbroadcast",
 ]
 
-# Global toggle consulted when deciding whether to record the graph.  It is
-# flipped by the ``no_grad`` context manager during evaluation.
-_GRAD_ENABLED = True
+# Whether operations record the autodiff graph.  A ContextVar rather than a
+# module global so that nested ``no_grad()`` blocks restore correctly even
+# under exceptions, and so one thread (or async task) entering ``no_grad``
+# cannot leak the disabled state into another.
+_GRAD_ENABLED = ContextVar("repro_grad_enabled", default=True)
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph recording (for inference)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    token = _GRAD_ENABLED.set(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_ENABLED.reset(token)
 
 
 def is_grad_enabled():
     """Return whether operations are currently recorded for autodiff."""
-    return _GRAD_ENABLED
+    return _GRAD_ENABLED.get()
 
 
 def unbroadcast(grad, shape):
@@ -98,7 +100,18 @@ class Tensor:
         When true, :meth:`backward` accumulates into :attr:`grad`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_version",
+        "_op",
+        "_saved_versions",
+        "_stack",
+        "__weakref__",
+    )
 
     def __init__(self, data, requires_grad=False):
         self.data = _coerce(data) if not isinstance(data, np.ndarray) else data.astype(np.float64, copy=False)
@@ -106,6 +119,13 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._backward = None
         self._parents = ()
+        # Sanitizer state (see repro.tooling.sanitizer): _version counts
+        # in-place mutations of ``data``; the rest is populated per node
+        # only while sanitize()/anomaly_mode() is active.
+        self._version = 0
+        self._op = None
+        self._saved_versions = None
+        self._stack = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -145,17 +165,31 @@ class Tensor:
         """Clear the accumulated gradient."""
         self.grad = None
 
+    def bump_version(self):
+        """Record an in-place mutation of this tensor's buffer.
+
+        Every code path that mutates ``data`` without rebinding it
+        (optimizer steps, PS-worker row writes, the in-place state ops)
+        must call this so graphs recorded under
+        :func:`repro.tooling.sanitize` can detect stale saved buffers.
+        """
+        self._version += 1
+
     # ------------------------------------------------------------------
     # Graph construction
     # ------------------------------------------------------------------
     @staticmethod
     def _make(data, parents, backward_fn):
         """Create a result tensor, recording the graph when enabled."""
-        track = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        track = _GRAD_ENABLED.get() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=track)
         if track:
             out._parents = tuple(parents)
             out._backward = backward_fn
+        if _sanitizer._ACTIVE:
+            # Sanitizer/anomaly bookkeeping: saved operand versions, op
+            # name, creation stack, forward NaN/Inf check.
+            _sanitizer.on_node_created(out, parents, backward_fn)
         return out
 
     def backward(self, grad=None):
@@ -206,8 +240,14 @@ class Tensor:
                 continue
             if isinstance(node_grad, SparseGrad):
                 # Interior nodes expect dense arrays in their backward fns.
+                _sanitizer.note_densify("Tensor.backward.interior_node")
                 node_grad = node_grad.to_dense()
-            for parent, parent_grad in zip(node._parents, node._backward(node_grad)):
+            if node._saved_versions is not None:
+                _sanitizer.check_versions(node)
+            parent_grads = node._backward(node_grad)
+            if _sanitizer._ANOMALY:
+                _sanitizer.check_backward_grads(node, parent_grads)
+            for parent, parent_grad in zip(node._parents, parent_grads):
                 if parent_grad is None or not parent.requires_grad:
                     continue
                 key = id(parent)

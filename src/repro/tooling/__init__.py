@@ -1,0 +1,51 @@
+"""Correctness tooling: runtime autodiff sanitizer + repo-invariant linter.
+
+Two layers guard the fast paths introduced by the perf work (zero-copy
+views, in-place state algebra, sparse embedding gradients):
+
+* :mod:`repro.tooling.sanitizer` — tensor version counters checked in
+  ``backward()``, :func:`anomaly_mode` NaN/Inf localisation, and graph
+  diagnostics (live-node census, SparseGrad densification counters).
+* :mod:`repro.tooling.lint` — a custom AST lint pass encoding repo
+  invariants, run as ``python -m repro.tooling.lint src/`` (wired into CI).
+
+See DESIGN.md §8 for the full write-up.
+"""
+
+from .sanitizer import (
+    AnomalyError,
+    SanitizerError,
+    VersionError,
+    anomaly_enabled,
+    anomaly_mode,
+    densify_counts,
+    enabled,
+    graph_census,
+    sanitize,
+)
+
+__all__ = [
+    "SanitizerError",
+    "VersionError",
+    "AnomalyError",
+    "sanitize",
+    "anomaly_mode",
+    "enabled",
+    "anomaly_enabled",
+    "graph_census",
+    "densify_counts",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+]
+
+# The lint entry points are imported lazily: eagerly importing ``.lint``
+# here would double-import it under ``python -m repro.tooling.lint``.
+_LINT_EXPORTS = ("all_rules", "lint_paths", "lint_source")
+
+
+def __getattr__(name):
+    if name in _LINT_EXPORTS:
+        from . import lint
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,477 @@
+"""Repo-invariant AST lint pass — Layer 2 of the correctness tooling.
+
+Generic linters cannot know this repo's invariants; these rules encode
+them (stdlib ``ast`` only, no third-party dependencies):
+
+``raw-random``
+    No ``np.random.*`` / ``numpy.random`` usage outside
+    ``repro/utils/seeding.py`` — all randomness flows through
+    ``spawn_rng`` so every run is reproducible.
+``dtype-drift``
+    No float32/float16 ``astype``/``dtype=`` literals inside
+    ``repro/nn/`` — the engine is float64 end-to-end; silent downcasts
+    break the finite-difference gradchecks.
+``data-mutation``
+    No assignment or in-place mutation of ``<obj>.data`` outside the
+    engine-internal files (``nn/optim.py``, ``nn/state.py``,
+    ``nn/tensor.py``, ``nn/module.py``) — ad-hoc parameter mutation
+    bypasses the sanitizer's version counters.
+``dense-grad-materialization``
+    No ``.to_dense()`` / ``.add_to_dense()`` / ``np.add.at`` outside the
+    sanctioned sparse-path files — densifying an embedding-table gradient
+    turns an O(batch) step into O(table).
+``gradcheck-coverage``
+    Every primitive registered in ``repro/nn/functional.py`` (a top-level
+    function that calls ``Tensor._make``) must be referenced in
+    ``tests/nn/test_gradcheck.py``.
+
+A violation may be waived where the code is a sanctioned exception by
+putting ``# lint: allow[rule-name]`` on the flagged line or the line
+directly above it.
+
+Run::
+
+    PYTHONPATH=src python -m repro.tooling.lint src/
+    PYTHONPATH=src python -m repro.tooling.lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "all_rules",
+    "lint_source",
+    "lint_paths",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def _dotted(node):
+    """Flatten an ``ast.Attribute``/``ast.Name`` chain to ``a.b.c`` or None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _posix(path):
+    return str(path).replace("\\", "/")
+
+
+class Rule:
+    """Base lint rule: per-file ``visit`` plus cross-file ``finalize``."""
+
+    name = ""
+    description = ""
+    #: posix path suffixes where the rule is sanctioned (does not apply).
+    allowed_suffixes = ()
+    #: when set, the rule only applies to paths containing this substring.
+    scope = None
+
+    def applies_to(self, posix_path):
+        if any(posix_path.endswith(suffix) for suffix in self.allowed_suffixes):
+            return False
+        if self.scope is not None and self.scope not in posix_path:
+            return False
+        return True
+
+    def visit(self, path, tree):
+        """Return violations for one parsed file."""
+        return []
+
+    def finalize(self, files):
+        """Return violations needing the whole file set ({path: tree})."""
+        return []
+
+    def _violation(self, path, node, message):
+        return Violation(
+            path=_posix(path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+        )
+
+
+class RawRandomRule(Rule):
+    name = "raw-random"
+    description = (
+        "np.random / numpy.random must only be used in repro/utils/seeding.py; "
+        "derive generators via repro.utils.seeding.spawn_rng"
+    )
+    allowed_suffixes = ("repro/utils/seeding.py",)
+
+    def visit(self, path, tree):
+        violations = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                if _dotted(node) in ("np.random", "numpy.random"):
+                    violations.append(self._violation(
+                        path, node,
+                        "raw numpy RNG access; route randomness through "
+                        "repro.utils.seeding.spawn_rng",
+                    ))
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "numpy.random" or module.startswith("numpy.random."):
+                    violations.append(self._violation(
+                        path, node,
+                        f"import from {module!r}; route randomness through "
+                        "repro.utils.seeding.spawn_rng",
+                    ))
+        return violations
+
+
+class DtypeDriftRule(Rule):
+    name = "dtype-drift"
+    description = (
+        "no float32/float16 astype()/dtype= literals in repro/nn — the "
+        "engine is float64 end-to-end"
+    )
+    scope = "repro/nn/"
+
+    _BAD_DOTTED = frozenset({
+        "np.float32", "np.float16", "np.single", "np.half",
+        "numpy.float32", "numpy.float16", "numpy.single", "numpy.half",
+    })
+    _BAD_STRINGS = frozenset({"float32", "float16", "f4", "f2", "<f4", "<f2"})
+
+    def _is_bad_dtype(self, node):
+        dotted = _dotted(node)
+        if dotted in self._BAD_DOTTED:
+            return True
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value in self._BAD_STRINGS
+        )
+
+    def visit(self, path, tree):
+        violations = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidates = [
+                keyword.value for keyword in node.keywords
+                if keyword.arg == "dtype"
+            ]
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+            ):
+                candidates.append(node.args[0])
+            for candidate in candidates:
+                if self._is_bad_dtype(candidate):
+                    violations.append(self._violation(
+                        path, node,
+                        "reduced-precision dtype literal in repro/nn; the "
+                        "autodiff engine and its gradchecks are float64",
+                    ))
+        return violations
+
+
+class DataMutationRule(Rule):
+    name = "data-mutation"
+    description = (
+        "Tensor.data may only be assigned/mutated in the engine files "
+        "(nn/optim.py, nn/state.py, nn/tensor.py, nn/module.py)"
+    )
+    allowed_suffixes = (
+        "repro/nn/optim.py",
+        "repro/nn/state.py",
+        "repro/nn/tensor.py",
+        "repro/nn/module.py",
+    )
+
+    @staticmethod
+    def _targets_data(target):
+        if isinstance(target, ast.Attribute) and target.attr == "data":
+            return True
+        if isinstance(target, ast.Subscript):
+            return DataMutationRule._targets_data(target.value)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return any(DataMutationRule._targets_data(t) for t in target.elts)
+        return False
+
+    def visit(self, path, tree):
+        violations = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            if any(self._targets_data(target) for target in targets):
+                violations.append(self._violation(
+                    path, node,
+                    "direct .data mutation outside the engine bypasses the "
+                    "sanitizer's version counters; go through an optimizer, "
+                    "load_state_dict, or the state ops",
+                ))
+        return violations
+
+
+class DenseMaterializationRule(Rule):
+    name = "dense-grad-materialization"
+    description = (
+        "SparseGrad densification (.to_dense/.add_to_dense/np.add.at) is "
+        "only sanctioned inside the sparse-path engine files"
+    )
+    allowed_suffixes = (
+        "repro/nn/sparse.py",
+        "repro/nn/tensor.py",
+        "repro/nn/optim.py",
+        "repro/nn/functional.py",
+    )
+
+    def visit(self, path, tree):
+        violations = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in ("to_dense", "add_to_dense"):
+                violations.append(self._violation(
+                    path, node,
+                    f".{func.attr}() materializes a full dense gradient "
+                    "(O(table), not O(batch)); keep embedding grads sparse "
+                    "or waive a sanctioned interop site explicitly",
+                ))
+            elif _dotted(func) in ("np.add.at", "numpy.add.at"):
+                violations.append(self._violation(
+                    path, node,
+                    "np.add.at dense scatter outside the sanctioned sparse "
+                    "fallback paths",
+                ))
+        return violations
+
+
+class GradcheckCoverageRule(Rule):
+    name = "gradcheck-coverage"
+    description = (
+        "every primitive in repro/nn/functional.py (calls Tensor._make) "
+        "must be referenced in tests/nn/test_gradcheck.py"
+    )
+
+    def __init__(self, gradcheck_tests=None):
+        self.gradcheck_tests = gradcheck_tests
+
+    @staticmethod
+    def _calls_make(func_def):
+        for node in ast.walk(func_def):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_make"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _locate_tests(functional_path):
+        for ancestor in Path(functional_path).resolve().parents:
+            candidate = ancestor / "tests" / "nn" / "test_gradcheck.py"
+            if candidate.is_file():
+                return candidate
+        return None
+
+    def finalize(self, files):
+        functional = next(
+            (
+                (path, tree) for path, tree in files.items()
+                if _posix(path).endswith("repro/nn/functional.py")
+            ),
+            None,
+        )
+        if functional is None:
+            return []
+        path, tree = functional
+        primitives = [
+            node for node in tree.body
+            if isinstance(node, ast.FunctionDef) and self._calls_make(node)
+        ]
+        if not primitives:
+            return []
+        tests_path = self.gradcheck_tests or self._locate_tests(path)
+        if tests_path is None:
+            return [self._violation(
+                path, tree,
+                "cannot locate tests/nn/test_gradcheck.py to verify "
+                "primitive coverage (pass --gradcheck-tests)",
+            )]
+        try:
+            tests_tree = ast.parse(
+                Path(tests_path).read_text(), filename=str(tests_path)
+            )
+        except (OSError, SyntaxError) as error:
+            return [self._violation(
+                path, tree, f"cannot parse gradcheck tests: {error}"
+            )]
+        referenced = set()
+        for node in ast.walk(tests_tree):
+            if isinstance(node, ast.Name):
+                referenced.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                referenced.add(node.attr)
+        return [
+            self._violation(
+                path, primitive,
+                f"primitive '{primitive.name}' registers a backward via "
+                f"Tensor._make but is never referenced in {tests_path}; "
+                "add a finite-difference gradcheck",
+            )
+            for primitive in primitives
+            if primitive.name not in referenced
+        ]
+
+
+def all_rules(gradcheck_tests=None):
+    """Instantiate the full rule set."""
+    return [
+        RawRandomRule(),
+        DtypeDriftRule(),
+        DataMutationRule(),
+        DenseMaterializationRule(),
+        GradcheckCoverageRule(gradcheck_tests=gradcheck_tests),
+    ]
+
+
+def _waived(violation, lines):
+    tag = f"lint: allow[{violation.rule}]"
+    for lineno in (violation.line, violation.line - 1):
+        if 1 <= lineno <= len(lines) and tag in lines[lineno - 1]:
+            return True
+    return False
+
+
+def _collect_files(paths):
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_source(source, path="fixture.py", rules=None):
+    """Lint a source string (unit-test entry point; per-file rules only)."""
+    rules = rules if rules is not None else all_rules()
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    posix = _posix(path)
+    violations = []
+    for rule in rules:
+        if rule.applies_to(posix):
+            violations.extend(rule.visit(path, tree))
+    return [v for v in violations if not _waived(v, lines)]
+
+
+def lint_paths(paths, select=None, gradcheck_tests=None):
+    """Lint files/directories; returns (violations, files_checked)."""
+    rules = all_rules(gradcheck_tests=gradcheck_tests)
+    if select:
+        rules = [rule for rule in rules if rule.name in select]
+    violations = []
+    parsed = {}
+    sources = {}
+    for path in _collect_files(paths):
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError) as error:
+            violations.append(Violation(
+                path=_posix(path), line=getattr(error, "lineno", 1) or 1,
+                col=0, rule="parse-error", message=str(error),
+            ))
+            continue
+        parsed[path] = tree
+        sources[_posix(path)] = source.splitlines()
+        posix = _posix(path)
+        for rule in rules:
+            if rule.applies_to(posix):
+                violations.extend(rule.visit(path, tree))
+    for rule in rules:
+        violations.extend(rule.finalize(parsed))
+    violations = [
+        v for v in violations
+        if not _waived(v, sources.get(v.path, ()))
+    ]
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations, len(parsed)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tooling.lint",
+        description="Repo-invariant AST lint pass for the MAMDR reproduction.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--gradcheck-tests", default=None,
+        help="explicit path to tests/nn/test_gradcheck.py",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    select = (
+        {name.strip() for name in args.select.split(",") if name.strip()}
+        if args.select else None
+    )
+    violations, files_checked = lint_paths(
+        args.paths, select=select, gradcheck_tests=args.gradcheck_tests
+    )
+    for violation in violations:
+        print(violation.render())
+    status = "FAILED" if violations else "ok"
+    print(
+        f"repro.tooling.lint: {files_checked} files checked, "
+        f"{len(violations)} violation(s) — {status}"
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

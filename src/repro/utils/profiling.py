@@ -32,6 +32,7 @@ __all__ = [
     "tick",
     "tock",
     "record",
+    "count",
 ]
 
 # Stack of active profiles; every instrumented op reports to all of them so
@@ -72,6 +73,14 @@ class Profile:
             stats = self.ops[name] = OpStats()
         stats.calls += 1
         stats.seconds += seconds
+        stats.bytes_allocated += nbytes
+
+    def add_count(self, name, n=1, nbytes=0):
+        """Record ``n`` occurrences of a counted (untimed) event."""
+        stats = self.ops.get(name)
+        if stats is None:
+            stats = self.ops[name] = OpStats()
+        stats.calls += n
         stats.bytes_allocated += nbytes
 
     def total_seconds(self):
@@ -143,3 +152,12 @@ def record(name, seconds, nbytes=0):
     """Record an externally measured duration under ``name``."""
     for prof in _STACK:
         prof.add(name, seconds, nbytes)
+
+
+def count(name, n=1, nbytes=0):
+    """Count an event (no timing) — e.g. graph diagnostics such as
+    ``sparse.densify``; free (one list check) when no profile is active."""
+    if not _STACK:
+        return
+    for prof in _STACK:
+        prof.add_count(name, n, nbytes)

@@ -54,7 +54,6 @@ def test_zero_conflict_dataset_has_aligned_gradients():
     """Control experiment: with conflict=0 and no per-domain popularity,
     per-domain gradients at init are strongly aligned; turning both on
     lowers the alignment."""
-    from tests.conftest import make_tiny_dataset
     from repro.data import DomainSpec, SyntheticConfig, generate_dataset
 
     def build(conflict, dev):

@@ -11,7 +11,6 @@ of domain visits — the property the paper's analysis hinges on:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 import repro.core.negotiation as negotiation

@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.core import TrainConfig, domain_negotiation_epoch
+from repro.core import domain_negotiation_epoch
 from repro.core.trainer import make_inner_optimizer, train_steps
 from repro.models import build_model
 from repro.nn.state import state_allclose, state_interpolate, state_sub

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core import DomainParameterSpace
 from repro.models import build_model
-from repro.nn.state import state_allclose, state_scale, state_sub
+from repro.nn.state import state_allclose, state_scale
 
 
 def test_initial_deltas_are_zero(tiny_dataset):

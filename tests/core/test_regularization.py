@@ -3,11 +3,9 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import (
     DomainParameterSpace,
-    TrainConfig,
     domain_regularization_round,
     sample_helper_domains,
 )

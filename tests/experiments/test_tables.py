@@ -7,7 +7,6 @@ unit suite.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import TrainConfig
 from repro.experiments import (

@@ -7,7 +7,6 @@ behaviors.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.frameworks import (

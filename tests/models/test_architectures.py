@@ -7,11 +7,6 @@ import pytest
 
 from repro.data import sample_batch
 from repro.models import (
-    MLP,
-    WDL,
-    AutoInt,
-    DeepFM,
-    NeurFM,
     bi_interaction,
     build_model,
 )

@@ -174,6 +174,32 @@ def test_mse_grad():
     check(lambda t: F.mse_loss(t, target), x)
 
 
+@pytest.mark.parametrize("activation", ["linear", "relu", "sigmoid", "tanh"])
+def test_fused_dense_grad(activation):
+    x = RNG.normal(size=(4, 3))
+    x[np.abs(x) < 0.1] = 0.5  # keep relu away from its kink
+    weight = RNG.normal(size=(3, 2))
+    bias = RNG.normal(size=(2,))
+
+    def wrt_x(t):
+        return (F.fused_dense(t, Tensor(weight), Tensor(bias),
+                              activation=activation) ** 2).sum()
+
+    check(wrt_x, x)
+
+    def wrt_weight(t):
+        return (F.fused_dense(Tensor(x), t, Tensor(bias),
+                              activation=activation) ** 2).sum()
+
+    check(wrt_weight, weight)
+
+    def wrt_bias_no_bias_path(t):
+        return (F.fused_dense(Tensor(x), Tensor(weight), t,
+                              activation=activation) ** 2).sum()
+
+    check(wrt_bias_no_bias_path, bias)
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     rows=st.integers(2, 5),

@@ -129,3 +129,45 @@ def test_mean_over_tuple_axis_keepdims_and_negative():
     np.testing.assert_allclose(out.data, x.mean(axis=(0, 1), keepdims=True))
     out.sum().backward()
     np.testing.assert_allclose(t.grad, np.full_like(x, 1.0 / 12.0))
+
+
+def test_no_grad_nests_and_restores_each_level():
+    assert is_grad_enabled()
+    with no_grad():
+        assert not is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        # inner exit must not re-enable grad while the outer block is open
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+
+
+def test_no_grad_is_isolated_per_thread():
+    """One thread entering no_grad() must not disable recording in another
+    (the reason _GRAD_ENABLED is a ContextVar, not a module global)."""
+    import threading
+
+    entered = threading.Event()
+    release = threading.Event()
+    observed = {}
+
+    def hold_no_grad():
+        with no_grad():
+            entered.set()
+            release.wait(timeout=10.0)
+
+    def observe():
+        entered.wait(timeout=10.0)
+        observed["enabled"] = is_grad_enabled()
+        x = Tensor(np.ones(2), requires_grad=True)
+        observed["recorded"] = ((x * 2).sum()._backward is not None)
+        release.set()
+
+    workers = [threading.Thread(target=hold_no_grad),
+               threading.Thread(target=observe)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join(timeout=10.0)
+    assert observed == {"enabled": True, "recorded": True}
+    assert is_grad_enabled()

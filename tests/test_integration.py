@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import MAMDR, TrainConfig
 from repro.data import amazon6_sim, taobao10_sim
 from repro.distributed import SimulatedCluster
 from repro.experiments import MethodSpec, run_comparison
-from repro.frameworks import Alternate, SingleModelBank
+from repro.frameworks import Alternate
 from repro.metrics import evaluate_bank
 from repro.models import build_model
 

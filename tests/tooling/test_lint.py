@@ -1,0 +1,224 @@
+"""Unit tests for the repo-invariant AST lint pass.
+
+Each rule is exercised against small fixture snippets — one violating and
+one clean — plus waiver handling, the cross-file gradcheck-coverage rule
+over a synthetic repo tree, and the whole-repo invariant that
+``python -m repro.tooling.lint src/`` exits 0.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tooling.lint import all_rules, lint_paths, lint_source, main
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def rules_fired(source, path="repro/somewhere/module.py"):
+    return sorted({v.rule for v in lint_source(textwrap.dedent(source), path)})
+
+
+class TestRawRandom:
+    def test_flags_np_random_calls(self):
+        assert rules_fired("""
+            import numpy as np
+            rng = np.random.default_rng(0)
+        """) == ["raw-random"]
+
+    def test_flags_numpy_random_attribute(self):
+        assert rules_fired("""
+            import numpy
+            x = numpy.random.rand(3)
+        """) == ["raw-random"]
+
+    def test_flags_import_from_numpy_random(self):
+        assert rules_fired("""
+            from numpy.random import default_rng
+        """) == ["raw-random"]
+
+    def test_sanctioned_in_seeding_module(self):
+        source = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert lint_source(source, "src/repro/utils/seeding.py") == []
+
+    def test_clean_spawn_rng_usage(self):
+        assert rules_fired("""
+            from repro.utils.seeding import spawn_rng
+            rng = spawn_rng(0, "init")
+        """) == []
+
+
+class TestDtypeDrift:
+    def test_flags_astype_float32_in_nn(self):
+        assert rules_fired("""
+            import numpy as np
+            def f(x):
+                return x.astype(np.float32)
+        """, path="src/repro/nn/foo.py") == ["dtype-drift"]
+
+    def test_flags_dtype_keyword_string(self):
+        assert rules_fired("""
+            import numpy as np
+            x = np.zeros(3, dtype="float32")
+        """, path="src/repro/nn/foo.py") == ["dtype-drift"]
+
+    def test_float64_and_int64_allowed(self):
+        assert rules_fired("""
+            import numpy as np
+            a = x.astype(np.float64, copy=False)
+            b = np.asarray(i, dtype=np.int64)
+        """, path="src/repro/nn/foo.py") == []
+
+    def test_out_of_scope_outside_nn(self):
+        assert rules_fired("""
+            import numpy as np
+            x = np.zeros(3, dtype=np.float32)
+        """, path="src/repro/data/foo.py") == []
+
+    def test_dynamic_dtype_variable_allowed(self):
+        # sparse.py's __array__(dtype=None) pattern: a variable, not a literal
+        assert rules_fired("""
+            def __array__(self, dtype=None):
+                return dense.astype(dtype)
+        """, path="src/repro/nn/foo.py") == []
+
+
+class TestDataMutation:
+    def test_flags_augassign_outside_engine(self):
+        assert rules_fired("""
+            param.data -= lr * grad
+        """, path="src/repro/frameworks/foo.py") == ["data-mutation"]
+
+    def test_flags_subscript_assignment(self):
+        assert rules_fired("""
+            param.data[rows] = values
+        """, path="src/repro/frameworks/foo.py") == ["data-mutation"]
+
+    def test_flags_rebinding(self):
+        assert rules_fired("""
+            param.data = values.copy()
+        """, path="src/repro/frameworks/foo.py") == ["data-mutation"]
+
+    def test_sanctioned_in_optimizer(self):
+        source = "param.data -= lr * grad\n"
+        assert lint_source(source, "src/repro/nn/optim.py") == []
+
+    def test_reading_data_is_fine(self):
+        assert rules_fired("""
+            value = param.data[rows] * 2
+        """, path="src/repro/frameworks/foo.py") == []
+
+
+class TestDenseMaterialization:
+    def test_flags_to_dense_outside_sparse_paths(self):
+        assert rules_fired("""
+            dense = grad.to_dense()
+        """, path="src/repro/frameworks/foo.py") == ["dense-grad-materialization"]
+
+    def test_flags_np_add_at(self):
+        assert rules_fired("""
+            import numpy as np
+            np.add.at(buf, idx, g)
+        """, path="src/repro/frameworks/foo.py") == ["dense-grad-materialization"]
+
+    def test_sanctioned_in_sparse_module(self):
+        source = "dense = grad.to_dense()\n"
+        assert lint_source(source, "src/repro/nn/sparse.py") == []
+
+
+class TestWaivers:
+    def test_same_line_waiver(self):
+        source = "dense = grad.to_dense()  # lint: allow[dense-grad-materialization]\n"
+        assert lint_source(source, "src/repro/frameworks/foo.py") == []
+
+    def test_preceding_line_waiver(self):
+        source = (
+            "# lint: allow[dense-grad-materialization]\n"
+            "dense = grad.to_dense()\n"
+        )
+        assert lint_source(source, "src/repro/frameworks/foo.py") == []
+
+    def test_waiver_for_other_rule_does_not_apply(self):
+        source = "dense = grad.to_dense()  # lint: allow[raw-random]\n"
+        assert [v.rule for v in lint_source(
+            source, "src/repro/frameworks/foo.py"
+        )] == ["dense-grad-materialization"]
+
+
+class TestGradcheckCoverage:
+    def make_tree(self, tmp_path, test_body):
+        functional = tmp_path / "src" / "repro" / "nn" / "functional.py"
+        functional.parent.mkdir(parents=True)
+        functional.write_text(textwrap.dedent("""
+            from .tensor import Tensor
+
+            def covered(x):
+                return Tensor._make(x.data, (x,), lambda g: (g,))
+
+            def uncovered(x):
+                return Tensor._make(x.data, (x,), lambda g: (g,))
+
+            def not_a_primitive(x):
+                return covered(x)
+        """))
+        tests = tmp_path / "tests" / "nn" / "test_gradcheck.py"
+        tests.parent.mkdir(parents=True)
+        tests.write_text(textwrap.dedent(test_body))
+        return tmp_path
+
+    def test_uncovered_primitive_is_flagged(self, tmp_path):
+        root = self.make_tree(tmp_path, """
+            def test_covered():
+                check(lambda t: covered(t), x)
+        """)
+        violations, _ = lint_paths([root / "src"])
+        assert [v.rule for v in violations] == ["gradcheck-coverage"]
+        assert "uncovered" in violations[0].message
+
+    def test_full_coverage_passes(self, tmp_path):
+        root = self.make_tree(tmp_path, """
+            import functional as F
+            def test_all():
+                check(lambda t: F.covered(t), x)
+                check(lambda t: F.uncovered(t), x)
+        """)
+        violations, _ = lint_paths([root / "src"])
+        assert violations == []
+
+
+class TestDriver:
+    def test_repo_src_is_clean(self):
+        violations, files_checked = lint_paths([REPO_ROOT / "src"])
+        assert violations == []
+        assert files_checked > 50
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        assert main([str(REPO_ROOT / "src")]) == 0
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nrng = np.random.default_rng(0)\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "raw-random" in out
+
+    def test_parse_error_is_reported(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        violations, _ = lint_paths([broken])
+        assert [v.rule for v in violations] == ["parse-error"]
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nrng = np.random.default_rng(0)\n")
+        violations, _ = lint_paths([bad], select={"dtype-drift"})
+        assert violations == []
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.name in out
