@@ -1,0 +1,62 @@
+"""Serving throughput/latency benchmarks (train → publish → replay).
+
+Two tiers mirror the perf harness:
+
+* ``serving_smoke`` — a seconds-long replay that keeps the harness alive in
+  CI (the perf-smoke job runs it on every push);
+* ``serving`` — the fuller sweep behind ``python -m repro.cli serve-bench``.
+
+Both append their measurements to ``BENCH_serving.json`` at the repo root
+and hard-fail if the serving path stops being bit-identical to offline
+scoring.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/serving -m serving_smoke -q
+    PYTHONPATH=src python -m pytest benchmarks/serving -m serving -q -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.serving.bench import (
+    render_serve_bench,
+    run_serve_bench,
+    write_bench_record,
+)
+
+BENCH_SERVING_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent.parent / "BENCH_serving.json"
+)
+
+
+def _run_and_record(batch_sizes, n_requests):
+    record = run_serve_bench(batch_sizes=batch_sizes, n_requests=n_requests)
+    print("\n" + render_serve_bench(record))
+    write_bench_record(record, BENCH_SERVING_PATH)
+    for key, entry in record["settings"].items():
+        assert entry["parity"], f"serving/offline parity failed at {key}"
+        assert entry["qps"] > 0
+    return record
+
+
+@pytest.mark.serving_smoke
+def test_serving_smoke():
+    """Tiny replay: the full train→publish→replay→reload path stays alive."""
+    record = _run_and_record(batch_sizes=(1, 8), n_requests=300)
+    assert set(record["settings"]) == {"bs=1", "bs=8"}
+
+
+@pytest.mark.serving
+def test_serving_sweep():
+    """The full sweep: micro-batching must beat single-row serving."""
+    record = _run_and_record(batch_sizes=(1, 8, 32), n_requests=2000)
+    single = record["settings"]["bs=1"]["qps"]
+    batched = record["settings"]["bs=32"]["qps"]
+    assert batched > single, (
+        f"micro-batching regressed: bs=32 at {batched:.0f} qps vs "
+        f"bs=1 at {single:.0f} qps"
+    )

@@ -18,6 +18,9 @@ Subpackages
     the unified MAMDR framework.
 ``repro.distributed``
     Simulated PS-Worker cluster with the embedding cache of Section IV-E.
+``repro.serving``
+    Online inference: versioned snapshots with atomic hot-swap,
+    micro-batching, and the serve-side static/dynamic embedding cache.
 ``repro.metrics`` / ``repro.analysis`` / ``repro.experiments``
     Evaluation, gradient-conflict probes and the table/figure harness.
 ``repro.tooling``
@@ -38,7 +41,7 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import core, data, frameworks, metrics, models, nn, tooling, utils
+from . import core, data, frameworks, metrics, models, nn, serving, tooling, utils
 
 __all__ = [
     "core",
@@ -47,6 +50,7 @@ __all__ = [
     "metrics",
     "models",
     "nn",
+    "serving",
     "tooling",
     "utils",
     "__version__",

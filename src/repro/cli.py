@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli run table5 [--scale 1.0] [--seeds 0,1,2]
     python -m repro.cli run fig9 --seeds 0
     python -m repro.cli stats taobao30_sim
+    python -m repro.cli serve-bench [--batch-sizes 1,8,32] [--requests 1500]
 
 Each ``run`` prints the same table the corresponding benchmark target
 emits, without pytest in the loop.
@@ -99,7 +100,47 @@ def build_parser():
     stats = commands.add_parser("stats", help="print a dataset's statistics")
     stats.add_argument("dataset", choices=sorted(BENCHMARK_BUILDERS))
     stats.add_argument("--scale", type=float, default=1.0)
+
+    serve = commands.add_parser(
+        "serve-bench",
+        help="train a small MAMDR model, publish a snapshot and replay a "
+             "heavy-tailed request stream through the serving stack",
+    )
+    serve.add_argument("--batch-sizes", type=_seeds, default=(1, 8, 32),
+                       help="comma-separated max_batch_size settings")
+    serve.add_argument("--requests", type=int, default=1500,
+                       help="replayed requests per setting (default: 1500)")
+    serve.add_argument("--epochs", type=int, default=2,
+                       help="training epochs before publishing (default: 2)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--out", default=None,
+                       help="benchmark journal path "
+                            "(default: BENCH_serving.json; '-' to skip)")
+    serve.add_argument("--verbose", action="store_true")
     return parser
+
+
+def _run_serve_bench(args):
+    from .serving.bench import (
+        DEFAULT_BENCH_PATH,
+        render_serve_bench,
+        run_serve_bench,
+        write_bench_record,
+    )
+
+    record = run_serve_bench(
+        batch_sizes=args.batch_sizes, n_requests=args.requests,
+        seed=args.seed, epochs=args.epochs, verbose=args.verbose,
+    )
+    print(render_serve_bench(record))
+    out = args.out if args.out is not None else DEFAULT_BENCH_PATH
+    if out != "-":
+        path = write_bench_record(record, out)
+        print(f"results appended to {path}")
+    if not all(entry["parity"] for entry in record["settings"].values()):
+        print("serving/offline parity FAILED", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None):
@@ -115,6 +156,8 @@ def main(argv=None):
             dataset = dataset_by_name(args.dataset, scale=args.scale)
         print(per_domain_stats_table(dataset))
         return 0
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
     EXPERIMENT_RUNNERS[args.experiment](args)
     return 0
 

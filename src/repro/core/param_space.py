@@ -84,6 +84,23 @@ class DomainParameterSpace:
             for name, param in model.named_parameters()
         )
 
+    def combined_cow(self, domain):
+        """``Θ_domain`` with zero-delta entries *aliasing* θ_S (no copy).
+
+        Copy-on-write materialization for snapshot publishing
+        (``repro.serving.snapshots``): a parameter whose specific delta is
+        exactly zero — the common case for untouched embedding tables and
+        frozen fields — is returned as the shared array itself rather than
+        an ``θ_S + 0`` copy, so publishing ``n_domains`` combined states
+        does not cost ``n_domains`` full model copies.  Callers must treat
+        the returned arrays as read-only; snapshot publishing freezes them.
+        """
+        delta = self._delta(domain)
+        return OrderedDict(
+            (name, shared if not delta[name].any() else shared + delta[name])
+            for name, shared in self.shared.items()
+        )
+
     def all_combined(self):
         """``{domain: Θ_domain}`` for deployment as a StateBank."""
         return {d: self.combined(d) for d in range(self.n_domains)}

@@ -8,6 +8,11 @@ otherwise the *latest* value is pulled from the PS and recorded in both
 caches ("query the latest embedding from the PS on demand" — this is what
 bounds staleness).  At the end of the epoch the worker pushes
 ``dynamic − static`` per touched row and clears both caches.
+
+Storage is columnar: one sorted unique id vector plus two aligned value
+matrices, so ``fetch``/``update`` are a ``np.unique`` + ``searchsorted``
+gather/scatter instead of per-row Python dict loops (the same unique-rows
+machinery :mod:`repro.nn.sparse` uses for gradient coalescing).
 """
 
 from __future__ import annotations
@@ -16,6 +21,8 @@ import numpy as np
 
 __all__ = ["EmbeddingCache"]
 
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
 
 class EmbeddingCache:
     """Static + dynamic row cache for one embedding table on one worker."""
@@ -23,50 +30,85 @@ class EmbeddingCache:
     def __init__(self, ps, table_name):
         self._ps = ps
         self.table_name = table_name
-        self._static = {}
-        self._dynamic = {}
+        # Sorted unique touched row ids, with value matrices aligned to it.
+        self._ids = _EMPTY_IDS
+        self._static = None
+        self._dynamic = None
         self.hits = 0
         self.misses = 0
+
+    def _positions(self, ids):
+        """(positions, present mask) of ``ids`` within the cached id vector."""
+        if not self._ids.size:
+            return np.zeros(ids.shape, dtype=np.int64), np.zeros(
+                ids.shape, dtype=bool
+            )
+        pos = np.searchsorted(self._ids, ids)
+        pos_clipped = np.minimum(pos, self._ids.size - 1)
+        return pos_clipped, self._ids[pos_clipped] == ids
 
     def fetch(self, ids):
         """Current row values for ``ids`` (dynamic-cache read-through)."""
         ids = np.asarray(ids, dtype=np.int64)
-        missing = [int(i) for i in np.unique(ids) if int(i) not in self._dynamic]
-        if missing:
-            rows = self._ps.pull_embedding_rows(self.table_name, missing)
-            for row_id, row in zip(missing, rows):
-                self._static[row_id] = row.copy()
-                self._dynamic[row_id] = row.copy()
-        self.misses += len(missing)
-        self.hits += len(ids) - len(missing)
-        return np.stack([self._dynamic[int(i)] for i in ids])
+        if not ids.size:
+            dim = 0 if self._dynamic is None else self._dynamic.shape[1]
+            return np.empty((0, dim), dtype=np.float64)
+        unique = np.unique(ids)
+        _, present = self._positions(unique)
+        missing = unique[~present]
+        if missing.size:
+            rows = np.asarray(
+                self._ps.pull_embedding_rows(self.table_name, missing),
+                dtype=np.float64,
+            )
+            merged_ids = np.concatenate((self._ids, missing))
+            order = np.argsort(merged_ids, kind="stable")
+            self._ids = merged_ids[order]
+            if self._static is None:
+                self._static = rows.copy()[order]
+                self._dynamic = rows.copy()[order]
+            else:
+                self._static = np.concatenate((self._static, rows))[order]
+                self._dynamic = np.concatenate((self._dynamic, rows.copy()))[
+                    order
+                ]
+        self.misses += int(missing.size)
+        self.hits += int(ids.size - missing.size)
+        take = np.searchsorted(self._ids, ids)
+        return self._dynamic[take]
 
     def update(self, ids, rows):
         """Record locally updated rows in the dynamic cache."""
         ids = np.asarray(ids, dtype=np.int64)
-        for row_id, row in zip(ids, rows):
-            key = int(row_id)
-            if key not in self._dynamic:
-                raise KeyError(
-                    f"row {key} updated before being fetched — the static "
-                    "reference would be undefined"
-                )
-            self._dynamic[key] = np.array(row, dtype=np.float64)
+        if not ids.size:
+            return
+        values = np.asarray(rows, dtype=np.float64)
+        pos, present = self._positions(ids)
+        if not present.all():
+            key = int(ids[np.flatnonzero(~present)[0]])
+            raise KeyError(
+                f"row {key} updated before being fetched — the static "
+                "reference would be undefined"
+            )
+        # Duplicate ids within one update keep last-wins semantics: fancy
+        # scatter assignment writes duplicates in order.
+        self._dynamic[pos] = values
 
     def deltas(self):
         """``{row_id: dynamic − static}`` for every touched row."""
-        return {
-            row_id: self._dynamic[row_id] - self._static[row_id]
-            for row_id in self._dynamic
-        }
+        if self._static is None:
+            return {}
+        diff = self._dynamic - self._static
+        return {int(row_id): diff[k] for k, row_id in enumerate(self._ids)}
 
     def touched_rows(self):
-        return sorted(self._dynamic)
+        return [int(row_id) for row_id in self._ids]
 
     def clear(self):
         """Empty both caches (end of epoch)."""
-        self._static.clear()
-        self._dynamic.clear()
+        self._ids = _EMPTY_IDS
+        self._static = None
+        self._dynamic = None
 
     @property
     def hit_rate(self):

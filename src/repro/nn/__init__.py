@@ -20,10 +20,12 @@ from .layers import (
 from .module import Module, ModuleList, Parameter
 from .optim import SGD, Adagrad, Adam, Optimizer, make_optimizer
 from .serialization import (
+    SerializationError,
     load_bank_states,
     load_state,
     save_bank_states,
     save_state,
+    state_checksum,
 )
 from .sparse import SparseGrad, sparse_grads_enabled, use_sparse_grads
 from .state import (
@@ -67,6 +69,8 @@ __all__ = [
     "load_state",
     "save_bank_states",
     "load_bank_states",
+    "SerializationError",
+    "state_checksum",
     "functional",
     "glorot_uniform",
     "he_uniform",

@@ -4,34 +4,130 @@ The serving system of Figure 2 stores shared parameters plus one specific
 state per domain; these helpers persist that layout to a single ``.npz``
 archive so a trained :class:`~repro.frameworks.base.StateBank` can be
 shipped, reloaded and served without retraining.
+
+Every archive written here carries a ``__repro_meta__`` header recording a
+format version and a SHA-256 content checksum over the payload arrays.
+Loads verify the header — a snapshot that was truncated, bit-flipped or
+re-assembled from mismatched pieces fails loudly instead of silently
+serving garbage parameters (the serving hot-swap in ``repro.serving``
+relies on this).  Archives written before the header existed still load;
+pass ``require_checksum=True`` to reject them.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import OrderedDict
 
 import numpy as np
 
 __all__ = [
+    "SerializationError",
+    "FORMAT_VERSION",
     "save_state",
     "load_state",
     "save_bank_states",
     "load_bank_states",
+    "state_checksum",
 ]
 
 _DOMAIN_PREFIX = "domain:"
 _DEFAULT_PREFIX = "default:"
+_META_KEY = "__repro_meta__"
+
+#: current on-disk format; bumped when the archive layout changes.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """A persisted state archive is corrupt, tampered or incompatible."""
+
+
+def state_checksum(payload):
+    """SHA-256 hex digest over a ``{key: ndarray}`` payload.
+
+    The digest covers key names, dtypes, shapes and raw bytes in sorted key
+    order, so it is independent of insertion order but sensitive to any
+    value, shape or renaming change.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(payload):
+        value = np.ascontiguousarray(payload[key])
+        digest.update(key.encode())
+        digest.update(str(value.dtype).encode())
+        digest.update(str(value.shape).encode())
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
+def _write_archive(path, payload):
+    """Write ``payload`` plus the versioned checksum header."""
+    meta = json.dumps({
+        "format_version": FORMAT_VERSION,
+        "checksum": state_checksum(payload),
+    })
+    np.savez(path, **payload, **{_META_KEY: np.array(meta)})
+
+
+def _read_archive(path, require_checksum=False):
+    """Load ``{key: ndarray}`` and verify the header when present."""
+    payload = {}
+    meta_text = None
+    try:
+        with np.load(path) as archive:
+            for key in archive.files:
+                if key == _META_KEY:
+                    meta_text = str(archive[key][()])
+                else:
+                    payload[key] = archive[key].copy()
+    except (OSError, ValueError) as error:
+        raise SerializationError(
+            f"cannot read state archive {path!s}: {error}"
+        ) from error
+    if meta_text is None:
+        if require_checksum:
+            raise SerializationError(
+                f"archive {path!s} has no integrity header (pre-versioned "
+                "format); re-save it with the current serialization module"
+            )
+        return payload
+    try:
+        meta = json.loads(meta_text)
+        version = int(meta["format_version"])
+        expected = meta["checksum"]
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(
+            f"archive {path!s} has a malformed integrity header: {error}"
+        ) from error
+    if version > FORMAT_VERSION:
+        raise SerializationError(
+            f"archive {path!s} uses format version {version}, but this "
+            f"build only reads up to {FORMAT_VERSION}"
+        )
+    actual = state_checksum(payload)
+    if actual != expected:
+        raise SerializationError(
+            f"archive {path!s} failed checksum verification "
+            f"(expected {expected[:12]}…, got {actual[:12]}…); the file is "
+            "corrupt or was modified after saving"
+        )
+    return payload
 
 
 def save_state(path, state):
     """Persist one ``{name: ndarray}`` state dict to ``path`` (.npz)."""
-    np.savez(path, **{name: value for name, value in state.items()})
+    _write_archive(path, dict(state))
 
 
-def load_state(path):
-    """Load a state dict saved by :func:`save_state`."""
-    with np.load(path) as archive:
-        return OrderedDict((name, archive[name].copy()) for name in archive.files)
+def load_state(path, require_checksum=False):
+    """Load a state dict saved by :func:`save_state`.
+
+    Raises :class:`SerializationError` when the archive is unreadable or its
+    checksum header does not match the payload.
+    """
+    payload = _read_archive(path, require_checksum=require_checksum)
+    return OrderedDict((name, payload[name]) for name in sorted(payload))
 
 
 def save_bank_states(path, domain_states, default_state=None):
@@ -49,24 +145,30 @@ def save_bank_states(path, domain_states, default_state=None):
             payload[f"{_DEFAULT_PREFIX}{name}"] = value
     if not payload:
         raise ValueError("nothing to save: empty bank")
-    np.savez(path, **payload)
+    _write_archive(path, payload)
 
 
-def load_bank_states(path):
+def load_bank_states(path, require_checksum=False):
     """Load ``(domain_states, default_state)`` saved by
-    :func:`save_bank_states`."""
+    :func:`save_bank_states`.
+
+    Raises :class:`SerializationError` on corrupt/mismatched archives (see
+    :func:`load_state`).
+    """
+    payload = _read_archive(path, require_checksum=require_checksum)
     domain_states = {}
     default_state = OrderedDict()
-    with np.load(path) as archive:
-        for key in archive.files:
-            if key.startswith(_DOMAIN_PREFIX):
-                rest = key[len(_DOMAIN_PREFIX):]
-                domain_text, _, name = rest.partition("/")
-                domain_states.setdefault(int(domain_text), OrderedDict())[name] = (
-                    archive[key].copy()
-                )
-            elif key.startswith(_DEFAULT_PREFIX):
-                default_state[key[len(_DEFAULT_PREFIX):]] = archive[key].copy()
-            else:
-                raise ValueError(f"unrecognized key {key!r} in bank archive")
+    for key in payload:
+        if key.startswith(_DOMAIN_PREFIX):
+            rest = key[len(_DOMAIN_PREFIX):]
+            domain_text, _, name = rest.partition("/")
+            domain_states.setdefault(int(domain_text), OrderedDict())[name] = (
+                payload[key]
+            )
+        elif key.startswith(_DEFAULT_PREFIX):
+            default_state[key[len(_DEFAULT_PREFIX):]] = payload[key]
+        else:
+            raise SerializationError(
+                f"unrecognized key {key!r} in bank archive"
+            )
     return domain_states, (default_state or None)

@@ -1,0 +1,259 @@
+"""Versioned model snapshots for online serving.
+
+The deployment of Section IV-E publishes a trained
+:class:`~repro.core.param_space.DomainParameterSpace` to the serving tier:
+per-domain combined states ``Θ_i = θ_S + θ_i`` behind a parameter server.
+A :class:`ModelSnapshot` is one immutable published version; a
+:class:`SnapshotStore` holds the live version and hot-swaps it atomically —
+a reader that grabbed :meth:`SnapshotStore.current` finishes its whole
+batch on that object while new requests see the new version.
+
+Materialization is copy-on-write: the shared state is copied (and frozen)
+once, and every per-domain entry whose specific delta is exactly zero —
+untouched embedding tables, frozen fields — *aliases* the frozen shared
+array instead of holding an ``θ_S + 0`` copy.  Publishing ``n_domains``
+combined states therefore does not cost ``n_domains`` full model copies.
+
+Persistence reuses :mod:`repro.nn.serialization`, whose format-version +
+checksum header makes a truncated or bit-flipped snapshot fail at load
+time instead of silently serving garbage parameters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..nn.serialization import load_bank_states, save_bank_states
+
+__all__ = ["ModelSnapshot", "SnapshotStore"]
+
+
+def _freeze(array):
+    """Mark an array read-only (published snapshots are immutable)."""
+    array.setflags(write=False)
+    return array
+
+
+class ModelSnapshot:
+    """One immutable published version of per-domain serving states.
+
+    Attributes
+    ----------
+    version:
+        Monotonically increasing publish counter (1, 2, ...).
+    states:
+        ``{domain: {name: ndarray}}`` combined per-domain states; arrays
+        are read-only and may alias :attr:`default_state` entries (COW).
+    default_state:
+        The shared state ``θ_S``, served to unknown domains.
+    access_counts:
+        Optional ``{param_name: per-row access counts}`` recorded at
+        publish time; the serve-side embedding cache pins its static set
+        from these (hot rows by training-time access frequency).
+    """
+
+    def __init__(self, version, states, default_state, access_counts=None,
+                 metadata=None):
+        self.version = version
+        self.states = states
+        self.default_state = default_state
+        self.access_counts = dict(access_counts or {})
+        self.metadata = dict(metadata or {})
+
+    @property
+    def domains(self):
+        return sorted(self.states)
+
+    def state_for(self, domain):
+        """The combined state serving ``domain`` (shared θ_S fallback)."""
+        state = self.states.get(domain)
+        if state is None:
+            if self.default_state is None:
+                raise KeyError(f"no parameters published for domain {domain}")
+            return self.default_state
+        return state
+
+    def rows_for(self, name, domain, ids):
+        """Combined rows ``Θ_domain[name][ids]`` — the simulated PS pull.
+
+        O(len(ids)) gather out of the materialized table; this is the
+        backing fetch of the serve-side embedding cache.
+        """
+        return self.state_for(domain)[name][ids]
+
+    def static_row_ids(self, name, capacity):
+        """Top-``capacity`` hottest rows of table ``name`` by access count.
+
+        Rows never touched during training are not pinned — the dynamic
+        LRU tier exists for exactly that tail.
+        """
+        counts = self.access_counts.get(name)
+        if counts is None or capacity <= 0:
+            return np.empty(0, dtype=np.int64)
+        counts = np.asarray(counts)
+        hot = np.argsort(counts, kind="stable")[::-1][:capacity]
+        return np.sort(hot[counts[hot] > 0]).astype(np.int64)
+
+    def cow_stats(self):
+        """How much publishing saved: aliased vs. copied per-domain arrays."""
+        aliased = copied = 0
+        bytes_saved = 0
+        for state in self.states.values():
+            for name, value in state.items():
+                base = (
+                    self.default_state.get(name)
+                    if self.default_state is not None else None
+                )
+                if base is not None and value is base:
+                    aliased += 1
+                    bytes_saved += value.nbytes
+                else:
+                    copied += 1
+        return {
+            "aliased_arrays": aliased,
+            "copied_arrays": copied,
+            "bytes_saved": bytes_saved,
+        }
+
+
+class SnapshotStore:
+    """Versioned snapshot registry with atomic hot-swap.
+
+    ``publish`` fully materializes the new :class:`ModelSnapshot` *before*
+    installing it with a single reference assignment, so a concurrent
+    reader either sees the complete old version or the complete new one —
+    never a half-published mixture.  Readers must pin ``current()`` once
+    per batch and use only that object for the batch's lifetime.
+    """
+
+    def __init__(self, keep=2):
+        if keep < 1:
+            raise ValueError("must keep at least the live snapshot")
+        self._keep = keep
+        self._versions = OrderedDict()
+        self._current = None
+        self._next_version = 1
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, space, access_counts=None, metadata=None):
+        """Materialize and hot-swap a :class:`DomainParameterSpace`.
+
+        Copy-on-write against a frozen copy of ``θ_S``: zero-delta entries
+        alias the shared array (see module docstring).
+        """
+        shared = OrderedDict(
+            (name, _freeze(value.copy())) for name, value in space.shared.items()
+        )
+        states = {}
+        for domain in range(space.n_domains):
+            delta = space.delta(domain)
+            states[domain] = OrderedDict(
+                (name, base if not delta[name].any()
+                 else _freeze(base + delta[name]))
+                for name, base in shared.items()
+            )
+        return self._install(states, shared, access_counts, metadata)
+
+    def publish_states(self, domain_states, default_state=None,
+                       access_counts=None, metadata=None):
+        """Publish explicit per-domain states (e.g. a trained ``StateBank``).
+
+        COW here is by *value*: an entry bit-identical to the default state
+        aliases it, which catches the common "this domain never diverged
+        from θ_S for this table" case at the cost of one comparison pass.
+        """
+        default = None
+        if default_state is not None:
+            default = OrderedDict(
+                (name, _freeze(value.copy()))
+                for name, value in default_state.items()
+            )
+        states = {}
+        for domain, state in domain_states.items():
+            out = OrderedDict()
+            for name, value in state.items():
+                base = default.get(name) if default is not None else None
+                if base is not None and value.shape == base.shape and (
+                    np.array_equal(value, base)
+                ):
+                    out[name] = base
+                else:
+                    out[name] = _freeze(np.array(value, dtype=np.float64))
+            states[int(domain)] = out
+        return self._install(states, default, access_counts, metadata)
+
+    def _install(self, states, default_state, access_counts, metadata):
+        snapshot = ModelSnapshot(
+            self._next_version, states, default_state,
+            access_counts=access_counts, metadata=metadata,
+        )
+        self._next_version += 1
+        self._versions[snapshot.version] = snapshot
+        # The swap itself: one reference assignment. In-flight readers
+        # keep whatever snapshot object they already pinned.
+        self._current = snapshot
+        self._prune()
+        return snapshot
+
+    def _prune(self):
+        while len(self._versions) > self._keep:
+            oldest = next(iter(self._versions))
+            if oldest == self._current.version:
+                break
+            del self._versions[oldest]
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def current(self):
+        """The live snapshot (pin this once per batch)."""
+        if self._current is None:
+            raise LookupError("no snapshot published yet")
+        return self._current
+
+    @property
+    def version(self):
+        return self.current().version
+
+    def versions(self):
+        """Retained version numbers, oldest first."""
+        return list(self._versions)
+
+    def get(self, version):
+        snapshot = self._versions.get(version)
+        if snapshot is None:
+            raise KeyError(
+                f"version {version} is not retained "
+                f"(have {self.versions() or 'none'})"
+            )
+        return snapshot
+
+    def rollback(self, version):
+        """Atomically re-install a retained older version."""
+        self._current = self.get(version)
+        return self._current
+
+    # ------------------------------------------------------------------
+    # Persistence (reuses the checksummed bank archive format)
+    # ------------------------------------------------------------------
+    def save(self, path, version=None):
+        """Persist one snapshot (default: the live one) to ``path``."""
+        snapshot = self.current() if version is None else self.get(version)
+        save_bank_states(
+            path, snapshot.states, default_state=snapshot.default_state
+        )
+        return snapshot.version
+
+    def load(self, path, access_counts=None, metadata=None):
+        """Publish a snapshot from a checksummed archive as a new version."""
+        domain_states, default_state = load_bank_states(
+            path, require_checksum=True
+        )
+        return self.publish_states(
+            domain_states, default_state=default_state,
+            access_counts=access_counts, metadata=metadata,
+        )

@@ -9,8 +9,9 @@ them (stdlib ``ast`` only, no third-party dependencies):
     ``spawn_rng`` so every run is reproducible.
 ``dtype-drift``
     No float32/float16 ``astype``/``dtype=`` literals inside
-    ``repro/nn/`` — the engine is float64 end-to-end; silent downcasts
-    break the finite-difference gradchecks.
+    ``repro/nn/`` or ``repro/serving/`` — the engine is float64
+    end-to-end; silent downcasts break the finite-difference gradchecks
+    and the serving path's bit-identical parity with offline scoring.
 ``data-mutation``
     No assignment or in-place mutation of ``<obj>.data`` outside the
     engine-internal files (``nn/optim.py``, ``nn/state.py``,
@@ -88,13 +89,14 @@ class Rule:
     description = ""
     #: posix path suffixes where the rule is sanctioned (does not apply).
     allowed_suffixes = ()
-    #: when set, the rule only applies to paths containing this substring.
-    scope = None
+    #: when non-empty, the rule only applies to paths containing one of
+    #: these substrings (empty = applies everywhere).
+    scopes = ()
 
     def applies_to(self, posix_path):
         if any(posix_path.endswith(suffix) for suffix in self.allowed_suffixes):
             return False
-        if self.scope is not None and self.scope not in posix_path:
+        if self.scopes and not any(s in posix_path for s in self.scopes):
             return False
         return True
 
@@ -148,10 +150,11 @@ class RawRandomRule(Rule):
 class DtypeDriftRule(Rule):
     name = "dtype-drift"
     description = (
-        "no float32/float16 astype()/dtype= literals in repro/nn — the "
-        "engine is float64 end-to-end"
+        "no float32/float16 astype()/dtype= literals in repro/nn or "
+        "repro/serving — the engine is float64 end-to-end, and the serving "
+        "path's bit-identical parity guarantee dies on any downcast"
     )
-    scope = "repro/nn/"
+    scopes = ("repro/nn/", "repro/serving/")
 
     _BAD_DOTTED = frozenset({
         "np.float32", "np.float16", "np.single", "np.half",

@@ -33,6 +33,8 @@ __all__ = [
     "tock",
     "record",
     "count",
+    "observe",
+    "percentile",
 ]
 
 # Stack of active profiles; every instrumented op reports to all of them so
@@ -58,6 +60,10 @@ class Profile:
 
     def __init__(self):
         self.ops = {}
+        # Raw per-event sample series (e.g. serving request latencies):
+        # unlike ``ops`` these keep every observation so tail percentiles
+        # (p95/p99) can be computed, not just totals and means.
+        self.series = {}
 
     def __enter__(self):
         _STACK.append(self)
@@ -82,6 +88,23 @@ class Profile:
             stats = self.ops[name] = OpStats()
         stats.calls += n
         stats.bytes_allocated += nbytes
+
+    def observe(self, name, value):
+        """Append one raw sample to the ``name`` series."""
+        self.series.setdefault(name, []).append(float(value))
+
+    def series_summary(self, quantiles=(0.5, 0.95, 0.99)):
+        """Per-series count/mean/percentiles for every observed series."""
+        summary = {}
+        for name, samples in self.series.items():
+            entry = {
+                "count": len(samples),
+                "mean": sum(samples) / len(samples),
+            }
+            for q in quantiles:
+                entry[f"p{round(q * 100):d}"] = percentile(samples, q)
+            summary[name] = entry
+        return summary
 
     def total_seconds(self):
         return sum(stats.seconds for stats in self.ops.values())
@@ -161,3 +184,29 @@ def count(name, n=1, nbytes=0):
         return
     for prof in _STACK:
         prof.add_count(name, n, nbytes)
+
+
+def observe(name, value):
+    """Record one raw sample (e.g. a request latency) into active profiles.
+
+    Samples accumulate in :attr:`Profile.series` so tail statistics survive
+    aggregation; free (one list check) when no profile is active.
+    """
+    if not _STACK:
+        return
+    for prof in _STACK:
+        prof.observe(name, value)
+
+
+def percentile(samples, q):
+    """Nearest-rank percentile of a sample list (``q`` in [0, 1]).
+
+    Implemented locally (sort + index) so latency summaries do not pull in
+    numpy's interpolating percentile, whose result is not one of the
+    observed samples.
+    """
+    if not samples:
+        raise ValueError("cannot take a percentile of an empty sample set")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q * len(ordered) + 0.5)) - 1))
+    return ordered[rank]

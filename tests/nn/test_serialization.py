@@ -7,10 +7,12 @@ import pytest
 
 from repro.models import build_model
 from repro.nn import (
+    SerializationError,
     load_bank_states,
     load_state,
     save_bank_states,
     save_state,
+    state_checksum,
 )
 from repro.nn.state import state_allclose, state_scale
 
@@ -52,6 +54,123 @@ def test_bank_without_default(tmp_path, tiny_dataset):
 def test_empty_bank_rejected(tmp_path):
     with pytest.raises(ValueError):
         save_bank_states(tmp_path / "x.npz", {})
+
+
+def _rewrite_archive(path, mutate):
+    """Load an archive's raw keys, apply ``mutate``, and write it back."""
+    with np.load(path) as archive:
+        payload = {k: archive[k].copy() for k in archive.files}
+    mutate(payload)
+    np.savez(path, **payload)
+
+
+def test_checksum_is_order_independent_and_value_sensitive():
+    a = {"x": np.arange(4.0), "y": np.ones((2, 2))}
+    b = {"y": np.ones((2, 2)), "x": np.arange(4.0)}
+    assert state_checksum(a) == state_checksum(b)
+    c = {"x": np.arange(4.0), "y": np.ones((2, 2)) + 1e-12}
+    assert state_checksum(a) != state_checksum(c)
+    # renaming a key changes the digest even with identical values
+    d = {"x2": np.arange(4.0), "y": np.ones((2, 2))}
+    assert state_checksum(a) != state_checksum(d)
+
+
+def test_load_rejects_bitflipped_payload(tmp_path):
+    path = tmp_path / "state.npz"
+    save_state(path, {"w": np.arange(6.0)})
+
+    def flip(payload):
+        payload["w"][3] += 1e-9
+
+    _rewrite_archive(path, flip)
+    with pytest.raises(SerializationError, match="checksum"):
+        load_state(path)
+
+
+def test_load_rejects_renamed_key(tmp_path):
+    path = tmp_path / "state.npz"
+    save_state(path, {"w": np.arange(6.0)})
+
+    def rename(payload):
+        payload["v"] = payload.pop("w")
+
+    _rewrite_archive(path, rename)
+    with pytest.raises(SerializationError, match="checksum"):
+        load_state(path)
+
+
+def test_load_rejects_malformed_header(tmp_path):
+    path = tmp_path / "state.npz"
+    save_state(path, {"w": np.arange(6.0)})
+
+    def garble(payload):
+        payload["__repro_meta__"] = np.array("not json{")
+
+    _rewrite_archive(path, garble)
+    with pytest.raises(SerializationError, match="malformed"):
+        load_state(path)
+
+
+def test_load_rejects_newer_format_version(tmp_path):
+    import json
+
+    path = tmp_path / "state.npz"
+    save_state(path, {"w": np.arange(6.0)})
+
+    def bump(payload):
+        meta = json.loads(str(payload["__repro_meta__"][()]))
+        meta["format_version"] = 99
+        payload["__repro_meta__"] = np.array(json.dumps(meta))
+
+    _rewrite_archive(path, bump)
+    with pytest.raises(SerializationError, match="format version 99"):
+        load_state(path)
+
+
+def test_legacy_headerless_archive_still_loads(tmp_path):
+    """Pre-header archives load by default, but require_checksum rejects."""
+    path = tmp_path / "legacy.npz"
+    np.savez(path, w=np.arange(6.0))
+    loaded = load_state(path)
+    np.testing.assert_array_equal(loaded["w"], np.arange(6.0))
+    with pytest.raises(SerializationError, match="header"):
+        load_state(path, require_checksum=True)
+
+
+def test_load_unreadable_file_raises_serialization_error(tmp_path):
+    path = tmp_path / "broken.npz"
+    path.write_bytes(b"this is not a zip archive")
+    with pytest.raises(SerializationError, match="cannot read"):
+        load_state(path)
+
+
+def test_bank_rejects_unrecognized_keys(tmp_path):
+    path = tmp_path / "bank.npz"
+    save_bank_states(path, {0: {"w": np.arange(3.0)}})
+
+    def smuggle(payload):
+        meta = payload.pop("__repro_meta__")
+        payload["rogue/w"] = np.zeros(3)
+        # keep the header consistent so only the key check fires
+        from repro.nn.serialization import FORMAT_VERSION
+        import json
+
+        payload["__repro_meta__"] = np.array(json.dumps({
+            "format_version": FORMAT_VERSION,
+            "checksum": state_checksum(
+                {k: v for k, v in payload.items() if k != "__repro_meta__"}
+            ),
+        }))
+        del meta
+
+    _rewrite_archive(path, smuggle)
+    with pytest.raises(SerializationError, match="unrecognized key"):
+        load_bank_states(path)
+
+
+def test_serialization_error_is_a_value_error():
+    # callers catching the historic ValueError keep working
+    assert issubclass(SerializationError, ValueError)
 
 
 def test_serving_from_reloaded_bank(tmp_path, tiny_dataset, fast_config):

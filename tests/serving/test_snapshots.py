@@ -1,0 +1,172 @@
+"""Snapshot store: COW materialization, atomic hot-swap, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DomainParameterSpace
+from repro.models import build_model
+from repro.nn import SerializationError
+from repro.nn.state import state_allclose, zeros_like_state
+from repro.serving import SnapshotStore
+
+from tests.conftest import make_tiny_dataset
+
+pytestmark = pytest.mark.serving
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_tiny_dataset("trainable")
+
+
+@pytest.fixture()
+def space(dataset):
+    model = build_model("mlp", dataset, seed=0)
+    space = DomainParameterSpace(model, dataset.n_domains)
+    # Give domain 1 a real delta on one dense parameter; everything else
+    # stays at zero so COW has structure to exploit.
+    delta = zeros_like_state(space.shared)
+    name = next(n for n in delta if "body" in n)
+    delta[name] = delta[name] + 0.25
+    space.set_delta(1, delta)
+    return space
+
+
+def test_publish_materializes_combined_states(space):
+    store = SnapshotStore()
+    snapshot = store.publish(space)
+    assert snapshot.version == 1
+    for domain in range(space.n_domains):
+        assert state_allclose(
+            dict(snapshot.state_for(domain)), dict(space.combined(domain))
+        )
+
+
+def test_cow_zero_delta_entries_alias_shared(space):
+    snapshot = SnapshotStore().publish(space)
+    shared = snapshot.default_state
+    # Domain 0 has an all-zero delta: every entry aliases θ_S.
+    for name, value in snapshot.state_for(0).items():
+        assert value is shared[name]
+    # Domain 1 diverges on exactly one parameter.
+    diverged = [
+        name for name, value in snapshot.state_for(1).items()
+        if value is not shared[name]
+    ]
+    assert len(diverged) == 1
+    stats = snapshot.cow_stats()
+    assert stats["copied_arrays"] == 1
+    assert stats["bytes_saved"] > 0
+
+
+def test_snapshot_arrays_are_frozen_and_space_is_untouched(space):
+    before = {name: value.copy() for name, value in space.shared.items()}
+    snapshot = SnapshotStore().publish(space)
+    for state in [snapshot.default_state] + [
+        snapshot.state_for(d) for d in range(space.n_domains)
+    ]:
+        for value in state.values():
+            assert not value.flags.writeable
+    # The space's own arrays stay writable (training continues after
+    # publish) and unchanged.
+    for name, value in space.shared.items():
+        assert value.flags.writeable
+        np.testing.assert_array_equal(value, before[name])
+
+
+def test_hot_swap_is_atomic_for_pinned_readers(space):
+    """A reader that pinned current() keeps a complete, immutable version."""
+    store = SnapshotStore()
+    store.publish(space)
+    pinned = store.current()
+    pinned_states = {
+        d: {n: v.copy() for n, v in pinned.state_for(d).items()}
+        for d in range(space.n_domains)
+    }
+    # Mutate the space (training advanced) and publish mid-"batch".
+    space.set_shared({n: v + 1.0 for n, v in space.shared.items()})
+    store.publish(space)
+    assert store.current().version == 2
+    assert pinned.version == 1
+    for d in range(space.n_domains):
+        for name, value in pinned.state_for(d).items():
+            np.testing.assert_array_equal(value, pinned_states[d][name])
+
+
+def test_rollback_and_retention(space):
+    store = SnapshotStore(keep=2)
+    store.publish(space)
+    store.publish(space)
+    store.publish(space)
+    assert store.versions() == [2, 3]
+    with pytest.raises(KeyError):
+        store.get(1)
+    store.rollback(2)
+    assert store.version == 2
+
+
+def test_current_before_publish_raises():
+    with pytest.raises(LookupError):
+        SnapshotStore().current()
+
+
+def test_save_load_round_trip(tmp_path, space):
+    store = SnapshotStore()
+    store.publish(space)
+    path = tmp_path / "snapshot.npz"
+    store.save(path)
+    fresh = SnapshotStore()
+    loaded = fresh.load(path)
+    for domain in range(space.n_domains):
+        assert state_allclose(
+            dict(loaded.state_for(domain)), dict(space.combined(domain))
+        )
+    # value-equality COW on load: zero-delta domains alias the default.
+    shared = loaded.default_state
+    assert all(v is shared[n] for n, v in loaded.state_for(0).items())
+
+
+def test_load_rejects_corrupt_archive(tmp_path, space):
+    store = SnapshotStore()
+    store.publish(space)
+    path = tmp_path / "snapshot.npz"
+    store.save(path)
+    # Forge a tampered archive: same keys, one array changed, stale header.
+    with np.load(path) as archive:
+        payload = {k: archive[k].copy() for k in archive.files}
+    victim = next(k for k in payload if k != "__repro_meta__")
+    payload[victim] = payload[victim] + 1e-3
+    np.savez(path, **payload)
+    with pytest.raises(SerializationError, match="checksum"):
+        SnapshotStore().load(path)
+
+
+def test_load_requires_integrity_header(tmp_path, space):
+    store = SnapshotStore()
+    store.publish(space)
+    path = tmp_path / "snapshot.npz"
+    store.save(path)
+    with np.load(path) as archive:
+        payload = {
+            k: archive[k].copy() for k in archive.files
+            if k != "__repro_meta__"
+        }
+    np.savez(path, **payload)
+    with pytest.raises(SerializationError, match="header"):
+        SnapshotStore().load(path)
+
+
+def test_static_row_ids_rank_by_frequency(space):
+    counts = np.array([0, 5, 2, 9, 0, 1])
+    name = next(iter(space.shared))
+    snapshot = SnapshotStore().publish(space, access_counts={name: counts})
+    np.testing.assert_array_equal(
+        snapshot.static_row_ids(name, 3), [1, 2, 3]
+    )
+    # zero-count rows are never pinned even with spare capacity
+    np.testing.assert_array_equal(
+        snapshot.static_row_ids(name, 10), [1, 2, 3, 5]
+    )
+    assert snapshot.static_row_ids("unknown", 3).size == 0

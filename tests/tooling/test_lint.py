@@ -150,6 +150,36 @@ class TestWaivers:
         )] == ["dense-grad-materialization"]
 
 
+class TestServingScope:
+    """The serving subsystem is inside the repo-invariant perimeter."""
+
+    def test_dtype_drift_fires_in_serving(self):
+        # serve-path downcasts would break bit-parity with offline scoring
+        assert rules_fired("""
+            import numpy as np
+            rows = table.astype(np.float32)
+        """, path="src/repro/serving/embedding_cache.py") == ["dtype-drift"]
+
+    def test_dtype_drift_clean_float64_in_serving(self):
+        assert rules_fired("""
+            import numpy as np
+            rows = np.asarray(rows, dtype=np.float64)
+        """, path="src/repro/serving/service.py") == []
+
+    def test_raw_random_fires_in_serving(self):
+        assert rules_fired("""
+            import numpy as np
+            stream = np.random.default_rng(0)
+        """, path="src/repro/serving/bench.py") == ["raw-random"]
+
+    def test_dense_materialization_fires_in_serving(self):
+        assert rules_fired("""
+            dense = grad.to_dense()
+        """, path="src/repro/serving/service.py") == [
+            "dense-grad-materialization"
+        ]
+
+
 class TestGradcheckCoverage:
     def make_tree(self, tmp_path, test_body):
         functional = tmp_path / "src" / "repro" / "nn" / "functional.py"
