@@ -17,7 +17,11 @@ Subpackages
     The paper's contribution: Domain Negotiation, Domain Regularization and
     the unified MAMDR framework.
 ``repro.distributed``
-    Simulated PS-Worker cluster with the embedding cache of Section IV-E.
+    Simulated fault-tolerant PS-Worker cluster: typed message transport,
+    fault injection, checkpoint/resume and the embedding cache of IV-E.
+``repro.train``
+    ``Session(config).fit()`` — the unified training facade over
+    frameworks and the distributed cluster.
 ``repro.serving``
     Online inference: versioned snapshots with atomic hot-swap,
     micro-batching, and the serve-side static/dynamic embedding cache.
@@ -41,17 +45,31 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import core, data, frameworks, metrics, models, nn, serving, tooling, utils
+from . import (
+    core,
+    data,
+    distributed,
+    frameworks,
+    metrics,
+    models,
+    nn,
+    serving,
+    tooling,
+    train,
+    utils,
+)
 
 __all__ = [
     "core",
     "data",
+    "distributed",
     "frameworks",
     "metrics",
     "models",
     "nn",
     "serving",
     "tooling",
+    "train",
     "utils",
     "__version__",
 ]

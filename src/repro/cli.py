@@ -6,10 +6,15 @@ Usage::
     python -m repro.cli run table5 [--scale 1.0] [--seeds 0,1,2]
     python -m repro.cli run fig9 --seeds 0
     python -m repro.cli stats taobao30_sim
+    python -m repro.cli train --config session.json
     python -m repro.cli serve-bench [--batch-sizes 1,8,32] [--requests 1500]
 
 Each ``run`` prints the same table the corresponding benchmark target
-emits, without pytest in the loop.
+emits, without pytest in the loop.  ``train`` drives a single
+:class:`repro.train.Session` from a unified JSON config file — the same
+artifact works for local frameworks and the fault-injectable distributed
+cluster — and ``serve-bench`` accepts the same file to configure the
+model it trains before publishing.
 """
 
 from __future__ import annotations
@@ -101,6 +106,15 @@ def build_parser():
     stats.add_argument("dataset", choices=sorted(BENCHMARK_BUILDERS))
     stats.add_argument("--scale", type=float, default=1.0)
 
+    train = commands.add_parser(
+        "train",
+        help="train one session (framework or distributed cluster) from a "
+             "unified JSON config file",
+    )
+    train.add_argument("--config", required=True,
+                       help="path to a repro.train.SessionConfig JSON file")
+    train.add_argument("--verbose", action="store_true")
+
     serve = commands.add_parser(
         "serve-bench",
         help="train a small MAMDR model, publish a snapshot and replay a "
@@ -116,8 +130,43 @@ def build_parser():
     serve.add_argument("--out", default=None,
                        help="benchmark journal path "
                             "(default: BENCH_serving.json; '-' to skip)")
+    serve.add_argument("--config", default=None,
+                       help="optional SessionConfig JSON file supplying the "
+                            "model, seed and training hyper-parameters")
     serve.add_argument("--verbose", action="store_true")
     return parser
+
+
+def _run_train(args):
+    from .train import Session, SessionConfig
+    from .utils.tables import format_table
+
+    config = SessionConfig.from_file(args.config)
+    session = Session(config)
+    result = session.fit()
+    report = result.report
+    print(format_table(
+        ["Domain", "AUC"],
+        [[str(domain), auc] for domain, auc in sorted(report.per_domain.items())],
+        title=f"{report.method} on {config.dataset}",
+    ))
+    print(f"mean AUC: {report.mean_auc:.4f}")
+    if result.stats is not None:
+        stats = result.stats
+        print(
+            f"cluster: ps_version={stats['ps_version']} "
+            f"dedup_hits={stats['ps_dedup_hits']} "
+            f"stale_rejections={stats['ps_stale_rejections']} "
+            f"crashes={len(stats['crashes'])} "
+            f"evictions={len(stats['evictions'])}"
+        )
+        if args.verbose:
+            for worker_id, counters in sorted(stats["transport"].items()):
+                line = " ".join(
+                    f"{key}={value}" for key, value in sorted(counters.items())
+                )
+                print(f"  worker {worker_id}: {line}")
+    return 0
 
 
 def _run_serve_bench(args):
@@ -128,9 +177,15 @@ def _run_serve_bench(args):
         write_bench_record,
     )
 
+    session = None
+    if args.config is not None:
+        from .train import SessionConfig
+
+        session = SessionConfig.from_file(args.config)
     record = run_serve_bench(
         batch_sizes=args.batch_sizes, n_requests=args.requests,
         seed=args.seed, epochs=args.epochs, verbose=args.verbose,
+        session=session,
     )
     print(render_serve_bench(record))
     out = args.out if args.out is not None else DEFAULT_BENCH_PATH
@@ -156,6 +211,8 @@ def main(argv=None):
             dataset = dataset_by_name(args.dataset, scale=args.scale)
         print(per_domain_stats_table(dataset))
         return 0
+    if args.command == "train":
+        return _run_train(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
     EXPERIMENT_RUNNERS[args.experiment](args)

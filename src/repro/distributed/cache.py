@@ -25,7 +25,13 @@ _EMPTY_IDS = np.empty(0, dtype=np.int64)
 
 
 class EmbeddingCache:
-    """Static + dynamic row cache for one embedding table on one worker."""
+    """Static + dynamic row cache for one embedding table on one worker.
+
+    ``ps`` is any row source exposing ``pull_embedding_rows(name, ids)`` —
+    a raw :class:`~repro.distributed.ps.ParameterServer` in unit tests, or
+    a :class:`~repro.distributed.transport.PSClient` in the cluster, where
+    every miss is a message that can fail and be retried.
+    """
 
     def __init__(self, ps, table_name):
         self._ps = ps

@@ -1,0 +1,172 @@
+"""Deterministic fault injection for the simulated PS-Worker runtime.
+
+The production system of Section IV-E must survive worker preemption,
+lost messages and stale pushes.  A :class:`FaultPlan` describes, as pure
+data, which of those failures a simulated run should experience; the
+transport layer (:mod:`repro.distributed.transport`) consults the plan on
+every message.  All randomness is drawn from generators spawned off the
+plan's own seed via :func:`repro.utils.seeding.spawn_rng`, never from the
+training RNG stream — so a faulty run perturbs *delivery*, not the math,
+and a plan with all rates at zero leaves training byte-identical to a run
+with no plan at all.
+
+Fault taxonomy (one decision per message):
+
+``DELIVER``
+    Normal delivery.
+``DROP``
+    The request is lost before reaching the server; the server never sees
+    it.  The client observes an error and retries.
+``TIMEOUT``
+    The server processes the request but the *reply* is lost.  The client
+    cannot distinguish this from a drop — which is exactly why pushes
+    carry request ids and the server deduplicates them.
+``DUPLICATE``
+    The request is delivered twice (an at-least-once network re-send).
+    The second delivery of a push must be a no-op on the server.
+
+Independently of the per-message draw, a plan can schedule hard *worker
+crashes* (``crash_after``: the worker dies when it sends its N-th message,
+mid-epoch) and *slow workers* (a fixed virtual delay added to every
+message), which is what drives heartbeat-based eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+
+from ..utils.seeding import spawn_rng
+
+__all__ = [
+    "DELIVER",
+    "DROP",
+    "TIMEOUT",
+    "DUPLICATE",
+    "FaultPlan",
+    "WorkerCrashed",
+]
+
+# Message-level fault actions (plain strings so they serialize trivially).
+DELIVER = "deliver"
+DROP = "drop"
+TIMEOUT = "timeout"
+DUPLICATE = "duplicate"
+
+
+class WorkerCrashed(RuntimeError):
+    """A simulated worker process died (preemption) mid-epoch."""
+
+    def __init__(self, worker_id, message_index):
+        super().__init__(
+            f"worker {worker_id!r} crashed on its message #{message_index}"
+        )
+        self.worker_id = worker_id
+        self.message_index = message_index
+
+
+def _frozen_mapping(mapping):
+    return MappingProxyType({int(k): v for k, v in dict(mapping or {}).items()})
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seeded schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Base seed for every fault decision.  Two runs with the same plan
+        experience the same faults at the same points.
+    drop_rate / timeout_rate / duplicate_rate:
+        Per-message probabilities of the corresponding action.  Their sum
+        must stay ≤ 1; the remainder is normal delivery.
+    slow_workers:
+        ``{worker_id: virtual_seconds}`` added to every message the worker
+        sends (drives heartbeat-timeout eviction of stragglers).
+    crash_after:
+        ``{worker_id: n}`` — the worker raises :class:`WorkerCrashed` when
+        it is about to send its ``n``-th message (1-based), i.e. somewhere
+        mid-epoch.  Crashed workers never come back (preemption).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    timeout_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    slow_workers: dict = field(default_factory=dict)
+    crash_after: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        for name in ("drop_rate", "timeout_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        total = self.drop_rate + self.timeout_rate + self.duplicate_rate
+        if total > 1.0:
+            raise ValueError(
+                f"fault rates sum to {total} > 1; they are exclusive outcomes"
+            )
+        # Normalize mapping keys (JSON configs arrive with string keys) and
+        # freeze them so the plan stays value-like despite the dict fields.
+        object.__setattr__(
+            self, "slow_workers",
+            _frozen_mapping({
+                k: float(v) for k, v in dict(self.slow_workers or {}).items()
+            }),
+        )
+        object.__setattr__(
+            self, "crash_after",
+            _frozen_mapping({
+                k: int(v) for k, v in dict(self.crash_after or {}).items()
+            }),
+        )
+
+    @classmethod
+    def none(cls):
+        """A plan that injects nothing (identical behavior, small overhead)."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    # Decision points, all deterministic in (seed, worker_id, message #)
+    # ------------------------------------------------------------------
+    def channel_rng(self, worker_id):
+        """The per-channel generator all message-level draws come from."""
+        return spawn_rng(self.seed, "faults", "channel", worker_id)
+
+    def retry_rng(self, worker_id):
+        """The per-client generator retry-backoff jitter comes from."""
+        return spawn_rng(self.seed, "faults", "retry", worker_id)
+
+    def decide(self, rng):
+        """Draw one fault action for the next message."""
+        if not (self.drop_rate or self.timeout_rate or self.duplicate_rate):
+            return DELIVER
+        u = rng.random()
+        if u < self.drop_rate:
+            return DROP
+        if u < self.drop_rate + self.timeout_rate:
+            return TIMEOUT
+        if u < self.drop_rate + self.timeout_rate + self.duplicate_rate:
+            return DUPLICATE
+        return DELIVER
+
+    def delay_for(self, worker_id):
+        """Virtual per-message delay for a slow worker (0.0 otherwise)."""
+        return self.slow_workers.get(worker_id, 0.0)
+
+    def crashes_at(self, worker_id, message_index):
+        """Whether the worker dies when sending message ``message_index``."""
+        threshold = self.crash_after.get(worker_id)
+        return threshold is not None and message_index >= threshold
+
+    def as_dict(self):
+        """JSON-ready representation (inverse of ``FaultPlan(**d)``)."""
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "timeout_rate": self.timeout_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "slow_workers": dict(self.slow_workers),
+            "crash_after": dict(self.crash_after),
+        }

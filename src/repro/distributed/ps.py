@@ -17,6 +17,7 @@ import numpy as np
 
 from ..nn.optim import make_optimizer
 from ..nn.module import Parameter
+from . import transport
 
 __all__ = ["ParameterServer"]
 
@@ -35,19 +36,31 @@ class ParameterServer:
     outer_optimizer:
         ``None`` for plain interpolation, or an optimizer name ("adagrad",
         "adam", "sgd") applied to the negated delta as a gradient.
+    max_staleness:
+        When not ``None``, pushes whose ``base_version`` is more than this
+        many versions behind the current state are rejected (bounded
+        staleness, the async deployment's guard against zombie workers).
     """
 
     def __init__(self, state, embedding_names=(), outer_lr=0.5,
-                 outer_optimizer=None):
+                 outer_optimizer=None, max_staleness=None):
         self._state = {name: value.copy() for name, value in state.items()}
         self.embedding_names = frozenset(embedding_names)
         unknown = self.embedding_names - set(self._state)
         if unknown:
             raise KeyError(f"embedding names not in state: {sorted(unknown)}")
         self.outer_lr = outer_lr
+        self.max_staleness = max_staleness
         self.version = 0
         self.pull_counts = {"dense": 0, "embedding_rows": 0}
         self.push_counts = {"dense": 0, "embedding_rows": 0}
+        #: push request ids already applied (or buffered) — the dedup set
+        #: that makes retried/duplicated pushes exactly-once.
+        self._applied_push_ids = set()
+        self.dedup_hits = 0
+        self.stale_rejections = 0
+        #: ``{worker_id: last heartbeat tick}`` for the eviction monitor.
+        self.heartbeats = {}
         self._snapshot = None
         self._buffered = []
         self._optimizer = None
@@ -58,6 +71,53 @@ class ParameterServer:
             self._optimizer = make_optimizer(
                 outer_optimizer, self._params.values(), outer_lr
             )
+
+    # ------------------------------------------------------------------
+    # Transport endpoint
+    # ------------------------------------------------------------------
+    def handle(self, request):
+        """Serve one typed transport message (the server's only endpoint).
+
+        Workers never call the pull/push methods below directly any more;
+        they send messages through a :class:`~repro.distributed.transport.
+        Channel` that lands here.  Pushes are deduplicated by request id
+        (retries and duplicated deliveries apply exactly once) and rejected
+        when staler than ``max_staleness`` versions.
+        """
+        if isinstance(request, transport.PullDenseRequest):
+            return transport.Response(
+                version=self.version, payload=self.pull_dense()
+            )
+        if isinstance(request, transport.PullRowsRequest):
+            rows = self.pull_embedding_rows(request.table, request.ids)
+            return transport.Response(version=self.version, payload=rows)
+        if isinstance(request, transport.HeartbeatRequest):
+            self.heartbeats[request.worker_id] = request.tick
+            return transport.Response(version=self.version)
+        if isinstance(request, transport.PushRequest):
+            return self._handle_push(request)
+        raise TypeError(f"unknown request type {type(request).__name__}")
+
+    def _handle_push(self, request):
+        if request.request_id in self._applied_push_ids:
+            self.dedup_hits += 1
+            return transport.Response(version=self.version, duplicate=True)
+        if (
+            self.max_staleness is not None
+            and self.version - request.base_version > self.max_staleness
+        ):
+            self.stale_rejections += 1
+            return transport.Response(
+                version=self.version, accepted=False,
+                reason=f"stale push: base version {request.base_version} is "
+                       f"{self.version - request.base_version} behind "
+                       f"(max_staleness={self.max_staleness})",
+            )
+        # Mark *before* applying: a sync round buffers the delta, but the
+        # retry of a timed-out push must still dedup against the buffer.
+        self._applied_push_ids.add(request.request_id)
+        self.push_delta(request.dense_delta, request.embedding_deltas)
+        return transport.Response(version=self.version)
 
     # ------------------------------------------------------------------
     # Pulls
@@ -151,3 +211,38 @@ class ParameterServer:
         self._optimizer.step()
         for name, param in self._params.items():
             self._state[name] = param.data
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def optimizer_slots(self):
+        """Server-side optimizer slot state (``{}`` for interpolation)."""
+        if self._optimizer is None:
+            return {}
+        return self._optimizer.state_slots()
+
+    def restore(self, state, version, optimizer_slots=None):
+        """Reset the authoritative state from a checkpoint.
+
+        Rebinds the outer-optimizer parameters (and their accumulated
+        slots) so a resumed run continues bit-for-bit where the
+        checkpointed one left off.
+        """
+        if self._snapshot is not None:
+            raise RuntimeError("cannot restore mid sync-round")
+        unknown = set(state) ^ set(self._state)
+        if unknown:
+            raise KeyError(
+                f"checkpoint state keys do not match: {sorted(unknown)}"
+            )
+        self._state = {name: value.copy() for name, value in state.items()}
+        self.version = int(version)
+        if self._optimizer is not None:
+            for name, param in self._params.items():
+                # Restoring a checkpoint is a state load, like
+                # load_state_dict; the graph is rebuilt afterwards.
+                # lint: allow[data-mutation]
+                param.data = self._state[name].copy()
+                param.bump_version()
+            if optimizer_slots:
+                self._optimizer.load_state_slots(optimizer_slots)

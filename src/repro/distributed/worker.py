@@ -5,9 +5,17 @@ optimizer.  Per epoch it (2) pulls dense parameters from the PS, (3) runs
 the MAMDR/DN inner loop on its shard — fetching embedding rows through the
 static/dynamic cache on demand — and (4) pushes the outer-loop delta
 ``Θ~ − Θ`` back to the PS.
+
+All PS traffic flows through a :class:`~repro.distributed.transport.
+PSClient` over a message channel, so it can be delayed, dropped, retried
+and deduplicated by the fault-injection harness.  Workers additionally
+send heartbeats (one at epoch start, one after every domain) that drive
+the cluster's eviction monitor.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -15,6 +23,8 @@ from ..data.batching import iter_minibatches
 from ..nn.layers import Embedding
 from ..nn.optim import make_optimizer
 from .cache import EmbeddingCache
+from .ps import ParameterServer
+from .transport import DirectChannel, PSClient
 
 __all__ = ["Worker", "embedding_parameter_names", "embedding_field_map"]
 
@@ -50,34 +60,65 @@ def embedding_field_map(model):
 
 
 class Worker:
-    """One simulated worker machine."""
+    """One simulated worker machine.
+
+    ``ps`` is normally a :class:`~repro.distributed.transport.PSClient`;
+    passing a raw :class:`~repro.distributed.ps.ParameterServer` is a
+    deprecated shim that wraps it in an in-process channel.
+    """
 
     def __init__(self, worker_id, model, domain_indices, ps, config,
                  field_map=None):
+        if isinstance(ps, ParameterServer):
+            warnings.warn(
+                "constructing a Worker with a raw ParameterServer is "
+                "deprecated; pass a transport.PSClient (or use "
+                "repro.train.Session) so PS traffic goes through a "
+                "failable channel",
+                DeprecationWarning, stacklevel=2,
+            )
+            ps = PSClient(DirectChannel(ps), worker_id)
         self.worker_id = worker_id
         self.model = model
         self.domain_indices = list(domain_indices)
-        self.ps = ps
+        self.client = ps
         self.config = config
+        #: epochs this worker completed (pull→train→push round trips).
+        self.epochs_run = 0
+        #: scheduler-level liveness (cleared when the simulated process dies).
+        self.alive = True
+        #: set by the cluster's heartbeat monitor when it evicts this worker.
+        self.evicted = False
         self.field_map = (
             field_map if field_map is not None else embedding_field_map(model)
         )
-        unknown = set(self.field_map) - set(ps.embedding_names)
+        unknown = set(self.field_map) - set(self._embedding_names())
         if unknown:
             raise KeyError(
                 f"field map references non-embedding tables: {sorted(unknown)}"
             )
         self.caches = {
-            name: EmbeddingCache(ps, name) for name in self.field_map
+            name: EmbeddingCache(self.client, name) for name in self.field_map
         }
         self.optimizer = make_optimizer(
             config.inner_optimizer, model.parameters(), config.inner_lr
         )
         self._named = dict(model.named_parameters())
 
+    def _embedding_names(self):
+        return embedding_parameter_names(self.model)
+
     def run_epoch(self, dataset, rng):
-        """One inner loop over this worker's shard; pushes the delta."""
-        static_dense = self.ps.pull_dense()
+        """One inner loop over this worker's shard; pushes the delta.
+
+        Raises :class:`~repro.distributed.faults.WorkerCrashed` when the
+        fault plan kills this worker mid-epoch, and
+        :class:`~repro.distributed.transport.DeliveryFailed` when the PS
+        stays unreachable through every retry — the cluster treats both as
+        a dead worker.
+        """
+        self.client.heartbeat()
+        static_dense = self.client.pull_dense()
         for name, value in static_dense.items():
             param = self._named[name]
             # The worker is the PS deployment's optimizer-equivalent; it
@@ -95,6 +136,7 @@ class Worker:
                 rng=rng, max_batches=self.config.inner_steps,
             ):
                 self._train_batch(batch)
+            self.client.heartbeat()
 
         dense_delta = {
             name: self._named[name].data - static_dense[name]
@@ -103,9 +145,10 @@ class Worker:
         embedding_deltas = {
             name: cache.deltas() for name, cache in self.caches.items()
         }
-        self.ps.push_delta(dense_delta, embedding_deltas)
+        self.client.push_delta(dense_delta, embedding_deltas)
         for cache in self.caches.values():
             cache.clear()
+        self.epochs_run += 1
 
     def _train_batch(self, batch):
         touched = self._materialize_rows(batch)
@@ -142,3 +185,7 @@ class Worker:
                    "hit_rate": cache.hit_rate}
             for name, cache in self.caches.items()
         }
+
+    def transport_stats(self):
+        """The client's delivery counters (retries, dedups, rejections)."""
+        return dict(self.client.counters)

@@ -10,9 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core import TrainConfig
-from ..frameworks import framework_by_name
-from ..metrics import average_rank, evaluate_bank
-from ..models import build_model
+from ..metrics import average_rank
+from ..train import Session, SessionConfig
 from ..utils.tables import format_table
 
 __all__ = ["MethodSpec", "ComparisonResult", "run_method", "run_comparison"]
@@ -76,14 +75,20 @@ def run_method(spec, dataset, config=None, seed=0, profiler=None):
     config = config or TrainConfig()
     if spec.config_overrides:
         config = config.updated(**spec.config_overrides)
-    model = build_model(spec.model, dataset, seed=seed, **spec.model_kwargs)
-    framework = framework_by_name(spec.framework, **spec.framework_kwargs)
-    if profiler is not None:
-        with profiler:
-            bank = framework.fit(model, dataset, config, seed=seed)
-    else:
-        bank = framework.fit(model, dataset, config, seed=seed)
-    return evaluate_bank(bank, dataset, method=spec.name)
+    session = Session(
+        SessionConfig(
+            dataset=dataset.name,
+            model=spec.model,
+            framework=spec.framework,
+            seed=seed,
+            method=spec.name,
+            train=config,
+            model_kwargs=dict(spec.model_kwargs),
+            framework_kwargs=dict(spec.framework_kwargs),
+        ),
+        dataset=dataset,
+    )
+    return session.fit(profiler=profiler).report
 
 
 def run_comparison(specs, dataset, config=None, seed=0, verbose=False,

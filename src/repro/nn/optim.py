@@ -65,6 +65,32 @@ class Optimizer:
         """Drop accumulated moments (used when reusing an optimizer across
         meta-learning inner loops, where stale moments leak information)."""
 
+    #: names of the per-param-index slot dicts this optimizer accumulates.
+    _slot_attrs = ()
+
+    def state_slots(self):
+        """Serializable slot state: ``{attr: {param_index: ndarray}}``.
+
+        Together with :meth:`load_state_slots` this lets a checkpointed
+        run (e.g. the parameter server's outer Adagrad) resume with the
+        exact accumulated moments it had.
+        """
+        return {
+            attr: {
+                int(index): np.array(value, copy=True)
+                for index, value in getattr(self, attr).items()
+            }
+            for attr in self._slot_attrs
+        }
+
+    def load_state_slots(self, slots):
+        """Restore slot state captured by :meth:`state_slots`."""
+        for attr in self._slot_attrs:
+            store = getattr(self, attr)
+            store.clear()
+            for index, value in slots.get(attr, {}).items():
+                store[int(index)] = np.array(value, copy=True)
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -74,6 +100,8 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = {}
+
+    _slot_attrs = ("_velocity",)
 
     def _update(self, index, param):
         grad = param.grad
@@ -120,9 +148,20 @@ class Adam(Optimizer):
         self._last_step = {}
         self._t = 0
 
+    _slot_attrs = ("_m", "_v", "_last_step")
+
     def step(self):
         self._t += 1
         super().step()
+
+    def state_slots(self):
+        slots = super().state_slots()
+        slots["_t"] = self._t
+        return slots
+
+    def load_state_slots(self, slots):
+        super().load_state_slots(slots)
+        self._t = int(slots.get("_t", 0))
 
     def _slots(self, index, param):
         m = self._m.get(index)
@@ -189,6 +228,8 @@ class Adagrad(Optimizer):
         super().__init__(params, lr)
         self.eps = eps
         self._accum = {}
+
+    _slot_attrs = ("_accum",)
 
     def _update(self, index, param):
         grad = param.grad

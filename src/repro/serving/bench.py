@@ -138,15 +138,33 @@ def check_parity(service, space, dataset, seed=0, sample_size=32):
 
 
 def run_serve_bench(batch_sizes=(1, 8, 32), n_requests=1500, seed=0,
-                    epochs=2, n_domains=5, verbose=False):
-    """Train, publish, replay; returns the JSON-ready results dict."""
+                    epochs=2, n_domains=5, verbose=False, session=None):
+    """Train, publish, replay; returns the JSON-ready results dict.
+
+    ``session`` may be a :class:`repro.train.SessionConfig` (the unified
+    config file the CLI's ``--config`` loads); it then supplies the model
+    architecture, seed and training hyper-parameters, while the bench
+    keeps its own heavy-tailed serving dataset and request stream.
+    """
     import time
 
+    model_name, model_kwargs = "mlp", {}
+    if session is not None:
+        seed = session.seed
+        model_name = session.model
+        model_kwargs = dict(session.model_kwargs)
     dataset = make_serving_dataset(n_domains=n_domains, seed=seed + 1)
-    model = build_model("mlp", dataset, seed=seed)
-    config = TrainConfig(
-        epochs=epochs, batch_size=64, inner_steps=4, dr_steps=2, sample_k=1,
+    model = build_model(
+        model_name, dataset, seed=seed if session is None
+        else session.effective_model_seed, **model_kwargs,
     )
+    if session is not None:
+        config = session.train
+    else:
+        config = TrainConfig(
+            epochs=epochs, batch_size=64, inner_steps=4, dr_steps=2,
+            sample_k=1,
+        )
     space = train_space(model, dataset, config, seed=seed)
 
     users, items, domains = make_request_stream(dataset, n_requests, seed=seed)

@@ -121,8 +121,10 @@ class Rule:
 class RawRandomRule(Rule):
     name = "raw-random"
     description = (
-        "np.random / numpy.random must only be used in repro/utils/seeding.py; "
-        "derive generators via repro.utils.seeding.spawn_rng"
+        "np.random / numpy.random and the stdlib random module must only be "
+        "used in repro/utils/seeding.py; derive generators via "
+        "repro.utils.seeding.spawn_rng (fault injection included — a chaos "
+        "run must replay from its plan seed alone)"
     )
     allowed_suffixes = ("repro/utils/seeding.py",)
 
@@ -130,12 +132,31 @@ class RawRandomRule(Rule):
         violations = []
         for node in ast.walk(tree):
             if isinstance(node, ast.Attribute):
-                if _dotted(node) in ("np.random", "numpy.random"):
+                dotted = _dotted(node)
+                if dotted in ("np.random", "numpy.random"):
                     violations.append(self._violation(
                         path, node,
                         "raw numpy RNG access; route randomness through "
                         "repro.utils.seeding.spawn_rng",
                     ))
+                elif dotted is not None and (
+                    dotted == "random" or dotted.startswith("random.")
+                ):
+                    violations.append(self._violation(
+                        path, node,
+                        "stdlib random access; route randomness through "
+                        "repro.utils.seeding.spawn_rng",
+                    ))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        violations.append(self._violation(
+                            path, node,
+                            "import of the stdlib random module; route "
+                            "randomness through repro.utils.seeding.spawn_rng",
+                        ))
             elif isinstance(node, ast.ImportFrom):
                 module = node.module or ""
                 if module == "numpy.random" or module.startswith("numpy.random."):
@@ -143,6 +164,12 @@ class RawRandomRule(Rule):
                         path, node,
                         f"import from {module!r}; route randomness through "
                         "repro.utils.seeding.spawn_rng",
+                    ))
+                elif module == "random" or module.startswith("random."):
+                    violations.append(self._violation(
+                        path, node,
+                        "import from the stdlib random module; route "
+                        "randomness through repro.utils.seeding.spawn_rng",
                     ))
         return violations
 

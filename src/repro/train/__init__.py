@@ -1,0 +1,15 @@
+"""``repro.train`` — the unified training facade.
+
+``Session(config).fit()`` replaces the three historical construction
+rituals (framework ``fit``, ``run_method`` specs, hand-built clusters)
+with one frozen, JSON-serializable :class:`SessionConfig`.
+"""
+
+from .session import DistributedConfig, Session, SessionConfig, SessionResult
+
+__all__ = [
+    "DistributedConfig",
+    "Session",
+    "SessionConfig",
+    "SessionResult",
+]

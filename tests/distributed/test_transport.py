@@ -1,0 +1,298 @@
+"""The message transport: channels, retries, dedup, the PSClient stub."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import ParameterServer
+from repro.distributed.faults import FaultPlan, WorkerCrashed
+from repro.distributed.transport import (
+    DeliveryFailed,
+    DirectChannel,
+    FaultyChannel,
+    HeartbeatRequest,
+    MessageDropped,
+    PSClient,
+    PullDenseRequest,
+    PullRowsRequest,
+    PushRequest,
+    ReplyLost,
+    Response,
+    RetryPolicy,
+    VirtualClock,
+    call_with_retry,
+)
+from repro.models import build_model
+from repro.distributed.worker import embedding_parameter_names
+from repro.utils.seeding import spawn_rng
+
+
+def make_ps(dataset, **kwargs):
+    model = build_model("mlp", dataset, seed=0)
+    return ParameterServer(
+        model.state_dict(),
+        embedding_names=embedding_parameter_names(model),
+        outer_lr=1.0,
+        **kwargs,
+    )
+
+
+class RecordingServer:
+    """A stand-in endpoint that logs every request it handles."""
+
+    def __init__(self, fail_first=0):
+        self.requests = []
+        self.fail_first = fail_first
+
+    def handle(self, request):
+        self.requests.append(request)
+        return Response(version=len(self.requests), payload="ok")
+
+
+# ----------------------------------------------------------------------
+# Messages and the direct channel
+# ----------------------------------------------------------------------
+def test_messages_are_frozen():
+    request = PullDenseRequest(worker_id=1, request_id="1/0/0")
+    with pytest.raises(AttributeError):
+        request.worker_id = 2
+    response = Response(version=3)
+    with pytest.raises(AttributeError):
+        response.version = 4
+
+
+def test_direct_channel_passes_through(tiny_dataset):
+    ps = make_ps(tiny_dataset)
+    channel = DirectChannel(ps)
+    response = channel.call(PullDenseRequest(worker_id=0, request_id="r0"))
+    assert isinstance(response, Response)
+    assert set(response.payload) == {
+        name for name in ps.full_state() if name not in ps.embedding_names
+    }
+    rows = channel.call(
+        PullRowsRequest(worker_id=0, request_id="r1",
+                        table="encoder.user_embedding.weight",
+                        ids=(0, 2))
+    )
+    assert rows.payload.shape[0] == 2
+
+
+def test_heartbeats_recorded_on_server(tiny_dataset):
+    ps = make_ps(tiny_dataset)
+    channel = DirectChannel(ps)
+    channel.call(HeartbeatRequest(worker_id=7, request_id="h0", tick=3))
+    assert ps.heartbeats[7] == 3
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(max_attempts=6, base_delay=0.1, max_delay=0.5,
+                         jitter=0.0)
+    delays = [policy.backoff(attempt, rng=None) for attempt in range(5)]
+    assert delays[0] == pytest.approx(0.1)
+    assert delays[1] == pytest.approx(0.2)
+    assert delays[2] == pytest.approx(0.4)
+    assert delays[3] == pytest.approx(0.5)  # capped
+    assert delays[4] == pytest.approx(0.5)
+
+
+def test_backoff_jitter_is_seeded():
+    policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+    a = [policy.backoff(i, rng=spawn_rng(3, "jitter")) for i in range(4)]
+    b = [policy.backoff(i, rng=spawn_rng(3, "jitter")) for i in range(4)]
+    assert a == b
+
+
+def test_call_with_retry_resends_same_request(tiny_dataset):
+    """A retried push carries the SAME request id — that is what makes
+    at-least-once delivery exactly-once at the server."""
+    ps = make_ps(tiny_dataset)
+    plan = FaultPlan(seed=5, timeout_rate=1.0)
+    clock = VirtualClock()
+    channel = FaultyChannel(DirectChannel(ps), plan, worker_id=0, clock=clock)
+    request = PushRequest(worker_id=0, request_id="0/0/1", base_version=0,
+                          dense_delta={}, embedding_deltas={})
+    with pytest.raises(DeliveryFailed):
+        call_with_retry(channel, request,
+                        RetryPolicy(max_attempts=3, jitter=0.0),
+                        rng=None, clock=clock)
+    # Every timed-out delivery reached the server; dedup absorbed the rest.
+    assert ps.dedup_hits == 2
+    assert clock.now > 0.0
+
+
+def test_call_with_retry_succeeds_after_transient_drops():
+    server = RecordingServer()
+
+    class Flaky:
+        def __init__(self, inner, failures):
+            self.inner = inner
+            self.failures = failures
+
+        def call(self, request):
+            if self.failures:
+                self.failures -= 1
+                raise MessageDropped("injected")
+            return self.inner.call(request)
+
+    channel = Flaky(DirectChannel(server), failures=2)
+    response = call_with_retry(
+        channel, PullDenseRequest(worker_id=0, request_id="p"),
+        RetryPolicy(max_attempts=5, jitter=0.0), clock=VirtualClock(),
+    )
+    assert response.payload == "ok"
+    assert len(server.requests) == 1
+
+
+# ----------------------------------------------------------------------
+# Fault semantics on the channel
+# ----------------------------------------------------------------------
+def test_drop_never_reaches_server():
+    server = RecordingServer()
+    plan = FaultPlan(seed=1, drop_rate=1.0)
+    channel = FaultyChannel(DirectChannel(server), plan, worker_id=0,
+                            clock=VirtualClock())
+    with pytest.raises(MessageDropped):
+        channel.call(PullDenseRequest(worker_id=0, request_id="x"))
+    assert server.requests == []
+
+
+def test_timeout_reaches_server_but_loses_reply():
+    server = RecordingServer()
+    plan = FaultPlan(seed=1, timeout_rate=1.0)
+    channel = FaultyChannel(DirectChannel(server), plan, worker_id=0,
+                            clock=VirtualClock())
+    with pytest.raises(ReplyLost):
+        channel.call(PullDenseRequest(worker_id=0, request_id="x"))
+    assert len(server.requests) == 1
+
+
+def test_duplicate_delivers_twice():
+    server = RecordingServer()
+    plan = FaultPlan(seed=1, duplicate_rate=1.0)
+    channel = FaultyChannel(DirectChannel(server), plan, worker_id=0,
+                            clock=VirtualClock())
+    response = channel.call(PullDenseRequest(worker_id=0, request_id="x"))
+    assert response.payload == "ok"
+    assert len(server.requests) == 2
+
+
+def test_slow_worker_advances_clock():
+    server = RecordingServer()
+    plan = FaultPlan(seed=1, slow_workers={0: 2.5})
+    clock = VirtualClock()
+    channel = FaultyChannel(DirectChannel(server), plan, worker_id=0,
+                            clock=clock)
+    channel.call(PullDenseRequest(worker_id=0, request_id="x"))
+    assert clock.now == pytest.approx(2.5)
+
+
+def test_crash_after_message_threshold():
+    server = RecordingServer()
+    plan = FaultPlan(seed=1, crash_after={0: 3})
+    channel = FaultyChannel(DirectChannel(server), plan, worker_id=0,
+                            clock=VirtualClock())
+    request = PullDenseRequest(worker_id=0, request_id="x")
+    channel.call(request)
+    channel.call(request)
+    with pytest.raises(WorkerCrashed) as excinfo:
+        channel.call(request)
+    assert excinfo.value.worker_id == 0
+    assert excinfo.value.message_index == 3
+    assert len(server.requests) == 2
+
+
+def test_fault_streams_are_deterministic():
+    plan = FaultPlan(seed=11, drop_rate=0.3, timeout_rate=0.2,
+                     duplicate_rate=0.1)
+
+    def outcomes():
+        rng = plan.channel_rng(4)
+        return [plan.decide(rng) for _ in range(64)]
+
+    assert outcomes() == outcomes()
+    # Separate workers get separate streams.
+    other = [plan.decide(plan.channel_rng(5)) for _ in range(64)]
+    assert outcomes() != other
+
+
+# ----------------------------------------------------------------------
+# PSClient
+# ----------------------------------------------------------------------
+def test_client_request_ids_unique_and_incarnated(tiny_dataset):
+    ps = make_ps(tiny_dataset)
+    client = PSClient(DirectChannel(ps), worker_id=3, incarnation=2)
+    client.pull_dense()
+    client.heartbeat()
+    ids = [r for r in ps._applied_push_ids]
+    client.push_delta({}, {})
+    assert all(pid.startswith("3/2/") for pid in ps._applied_push_ids)
+    assert ids == []  # pulls and heartbeats never enter the push dedup set
+
+
+def test_client_tracks_base_version_for_pushes(tiny_dataset):
+    ps = make_ps(tiny_dataset)
+    client = PSClient(DirectChannel(ps), worker_id=0)
+    client.pull_dense()
+    assert client.base_version == 0
+    client.push_delta({}, {})
+    assert ps.version == 1
+
+
+def test_stale_push_is_rejected_not_raised(tiny_dataset):
+    ps = make_ps(tiny_dataset, max_staleness=0)
+    fresh = PSClient(DirectChannel(ps), worker_id=0)
+    stale = PSClient(DirectChannel(ps), worker_id=1)
+    stale.pull_dense()
+    fresh.pull_dense()
+    fresh.push_delta({}, {})  # bumps version to 1
+    response = stale.push_delta({}, {})  # base 0, now 1 behind
+    assert not response.accepted
+    assert "stale" in response.reason
+    assert stale.counters["stale_rejected"] == 1
+    assert ps.stale_rejections == 1
+
+
+def test_unreachable_server_raises_delivery_failed(tiny_dataset):
+    ps = make_ps(tiny_dataset)
+    plan = FaultPlan(seed=2, drop_rate=1.0)
+    clock = VirtualClock()
+    channel = FaultyChannel(DirectChannel(ps), plan, worker_id=0, clock=clock)
+    client = PSClient(channel, worker_id=0,
+                      retry=RetryPolicy(max_attempts=2, jitter=0.0),
+                      clock=clock)
+    with pytest.raises(DeliveryFailed):
+        client.pull_dense()
+
+
+def test_heartbeat_loss_is_swallowed(tiny_dataset):
+    """A lost heartbeat must not kill the epoch — eviction handles silence."""
+    ps = make_ps(tiny_dataset)
+    plan = FaultPlan(seed=2, drop_rate=1.0)
+    clock = VirtualClock()
+    channel = FaultyChannel(DirectChannel(ps), plan, worker_id=0, clock=clock)
+    client = PSClient(channel, worker_id=0,
+                      retry=RetryPolicy(max_attempts=2, jitter=0.0),
+                      clock=clock)
+    client.heartbeat()
+    assert client.counters["heartbeats_lost"] == 1
+    assert ps.heartbeats == {}
+
+
+def test_duplicate_push_applied_exactly_once(tiny_dataset):
+    ps = make_ps(tiny_dataset)
+    plan = FaultPlan(seed=3, duplicate_rate=1.0)
+    clock = VirtualClock()
+    channel = FaultyChannel(DirectChannel(ps), plan, worker_id=0, clock=clock)
+    client = PSClient(channel, worker_id=0, clock=clock)
+    name = next(iter(client.pull_dense()))
+    before = ps.full_state()[name].copy()
+    delta = np.ones_like(before)
+    client.push_delta({name: delta}, {})
+    after = ps.full_state()[name]
+    np.testing.assert_allclose(after, before + delta)  # once, not twice
+    assert ps.dedup_hits == 1
+    assert ps.version == 1

@@ -41,3 +41,41 @@ def test_run_fig9_tiny(capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "Figure 9 analogue" in out
+
+
+def test_train_requires_config():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["train"])
+
+
+def test_serve_bench_accepts_config():
+    parser = build_parser()
+    args = parser.parse_args(["serve-bench", "--config", "session.json"])
+    assert args.config == "session.json"
+
+
+def test_train_command_distributed(tmp_path, capsys):
+    """``train --config`` drives a chaos cluster run from one JSON file."""
+    import json
+
+    config = {
+        "dataset": "taobao10_sim",
+        "scale": 0.1,
+        "model": "mlp",
+        "seed": 0,
+        "train": {"epochs": 2, "batch_size": 32, "inner_steps": 2,
+                  "dr_steps": 1, "sample_k": 1, "finetune_steps": 2},
+        "distributed": {
+            "n_workers": 2,
+            "mode": "async",
+            "heartbeat_timeout": 1,
+            "faults": {"seed": 3, "drop_rate": 0.05, "duplicate_rate": 0.05},
+        },
+    }
+    path = tmp_path / "session.json"
+    path.write_text(json.dumps(config))
+    assert main(["train", "--config", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "mean AUC" in out
+    assert "cluster:" in out and "ps_version=" in out

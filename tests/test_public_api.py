@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.analysis",
     "repro.experiments",
+    "repro.train",
     "repro.utils",
 ]
 

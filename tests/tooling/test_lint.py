@@ -42,8 +42,31 @@ class TestRawRandom:
             from numpy.random import default_rng
         """) == ["raw-random"]
 
+    def test_flags_stdlib_random_import(self):
+        assert rules_fired("""
+            import random
+            x = random.random()
+        """) == ["raw-random"]
+
+    def test_flags_import_from_stdlib_random(self):
+        assert rules_fired("""
+            from random import choice
+        """) == ["raw-random"]
+
+    def test_flags_stdlib_random_attribute(self):
+        # Even without the import in this snippet, attribute access on a
+        # name called ``random`` is flagged — chaos replay depends on every
+        # random draw flowing through a seeded generator.
+        assert rules_fired("""
+            x = random.uniform(0, 1)
+        """) == ["raw-random"]
+
     def test_sanctioned_in_seeding_module(self):
         source = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert lint_source(source, "src/repro/utils/seeding.py") == []
+
+    def test_stdlib_random_sanctioned_in_seeding_module(self):
+        source = "import random\nrandom.seed(0)\n"
         assert lint_source(source, "src/repro/utils/seeding.py") == []
 
     def test_clean_spawn_rng_usage(self):

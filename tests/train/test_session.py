@@ -1,0 +1,169 @@
+"""The Session facade: one config, every training path, exact parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import TrainConfig
+from repro.distributed import FaultPlan, RetryPolicy, SimulatedCluster
+from repro.frameworks import framework_by_name
+from repro.metrics import evaluate_bank
+from repro.models import build_model
+from repro.nn.serialization import state_checksum
+from repro.train import DistributedConfig, Session, SessionConfig
+
+
+# ----------------------------------------------------------------------
+# Config validation and serialization
+# ----------------------------------------------------------------------
+def test_config_is_frozen():
+    config = SessionConfig()
+    with pytest.raises(AttributeError):
+        config.model = "star"
+
+
+def test_nested_dicts_are_coerced():
+    config = SessionConfig(
+        train={"epochs": 3, "batch_size": 16},
+        distributed={"n_workers": 2, "mode": "sync",
+                     "faults": {"seed": 4, "drop_rate": 0.1},
+                     "retry": {"max_attempts": 3}},
+    )
+    assert isinstance(config.train, TrainConfig)
+    assert config.train.epochs == 3
+    assert isinstance(config.distributed, DistributedConfig)
+    assert isinstance(config.distributed.faults, FaultPlan)
+    assert isinstance(config.distributed.retry, RetryPolicy)
+    assert config.distributed.retry.max_attempts == 3
+
+
+def test_invalid_distributed_mode_rejected():
+    with pytest.raises(ValueError):
+        DistributedConfig(mode="chaotic")
+    with pytest.raises(ValueError):
+        DistributedConfig(n_workers=0)
+
+
+def test_unknown_keys_rejected():
+    with pytest.raises(ValueError, match="unknown session config keys"):
+        SessionConfig.from_dict({"modell": "mlp"})
+
+
+def test_json_roundtrip_with_faults(tmp_path):
+    config = SessionConfig(
+        dataset="taobao10_sim", scale=0.25, model="mlp", seed=3,
+        train={"epochs": 2},
+        distributed={
+            "n_workers": 3, "mode": "async", "heartbeat_timeout": 1,
+            "faults": {"seed": 7, "drop_rate": 0.05, "duplicate_rate": 0.1,
+                       "crash_after": {"1": 15}},
+        },
+    )
+    path = tmp_path / "session.json"
+    path.write_text(json.dumps(config.to_dict()))
+    loaded = SessionConfig.from_file(path)
+    assert loaded == config
+    assert loaded.distributed.faults.crashes_at(1, 15)
+
+
+def test_method_label_defaults():
+    assert SessionConfig(model="mlp", framework="mamdr").method_label == "mlp+mamdr"
+    assert SessionConfig(
+        distributed=DistributedConfig(n_workers=2)
+    ).method_label == "mlp+cluster"
+    assert SessionConfig(method="custom").method_label == "custom"
+
+
+# ----------------------------------------------------------------------
+# Parity with the underlying construction paths
+# ----------------------------------------------------------------------
+def test_framework_session_matches_manual_construction(tiny_dataset,
+                                                       fast_config):
+    session = Session(
+        SessionConfig(dataset=tiny_dataset.name, model="mlp",
+                      framework="alternate", seed=0, train=fast_config),
+        dataset=tiny_dataset,
+    )
+    result = session.fit()
+    assert result.stats is None
+
+    model = build_model("mlp", tiny_dataset, seed=0)
+    bank = framework_by_name("alternate").fit(model, tiny_dataset,
+                                              fast_config, seed=0)
+    report = evaluate_bank(bank, tiny_dataset, method="manual")
+    assert result.mean_auc == pytest.approx(report.mean_auc, abs=0.0)
+    assert state_checksum(result.bank.model.state_dict()) == state_checksum(
+        bank.model.state_dict()
+    )
+
+
+def test_distributed_session_matches_manual_cluster(tiny_dataset,
+                                                    fast_config):
+    session = Session(
+        SessionConfig(
+            dataset=tiny_dataset.name, model="mlp", seed=1, model_seed=0,
+            train=fast_config,
+            distributed=DistributedConfig(n_workers=3, mode="async"),
+        ),
+        dataset=tiny_dataset,
+    )
+    result = session.fit()
+    assert result.stats is not None and "ps_version" in result.stats
+
+    cluster = SimulatedCluster(n_workers=3, mode="async")
+    bank = cluster.run(
+        lambda worker_id: build_model("mlp", tiny_dataset, seed=0),
+        tiny_dataset, fast_config, seed=1,
+    )
+    assert state_checksum(result.bank.model.state_dict()) == state_checksum(
+        bank.model.state_dict()
+    )
+
+
+def test_session_accepts_plain_dict(tiny_dataset, fast_config):
+    session = Session(
+        {"dataset": tiny_dataset.name, "model": "mlp",
+         "framework": "alternate", "seed": 0,
+         "train": {"epochs": 2, "batch_size": 32, "inner_steps": 3,
+                   "dr_steps": 2, "sample_k": 1, "finetune_steps": 4}},
+        dataset=tiny_dataset,
+    )
+    assert isinstance(session.config, SessionConfig)
+    result = session.fit()
+    assert 0.0 <= result.mean_auc <= 1.0
+
+
+def test_chaos_session_runs_and_reports_recovery(tiny_dataset, fast_config):
+    session = Session(
+        SessionConfig(
+            dataset=tiny_dataset.name, model="mlp", seed=1, model_seed=0,
+            train=fast_config,
+            distributed=DistributedConfig(
+                n_workers=3, mode="async", heartbeat_timeout=1,
+                faults=FaultPlan(seed=5, drop_rate=0.1, duplicate_rate=0.1),
+            ),
+        ),
+        dataset=tiny_dataset,
+    )
+    result = session.fit()
+    assert result.stats["crashes"] == []
+    assert session.cluster is not None
+
+
+def test_run_method_goes_through_session(tiny_dataset, fast_config):
+    """run_method is rewired through Session — same report as before."""
+    from repro.experiments.runner import MethodSpec, run_method
+
+    report = run_method(
+        MethodSpec(name="MLP+Alternate", model="mlp", framework="alternate"),
+        tiny_dataset, config=fast_config, seed=0,
+    )
+    assert report.method == "MLP+Alternate"
+
+    model = build_model("mlp", tiny_dataset, seed=0)
+    bank = framework_by_name("alternate").fit(model, tiny_dataset,
+                                              fast_config, seed=0)
+    manual = evaluate_bank(bank, tiny_dataset, method="MLP+Alternate")
+    assert report.mean_auc == pytest.approx(manual.mean_auc, abs=0.0)
