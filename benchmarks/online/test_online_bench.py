@@ -1,0 +1,80 @@
+"""Continual-learning pipeline benchmarks (stream → update → gate → serve).
+
+Two tiers mirror the perf and serving harnesses:
+
+* ``online_smoke`` — a seconds-long end-to-end run that keeps the
+  pipeline alive in CI (the perf-smoke job runs it on every push);
+* ``online`` — the full drifted stream behind
+  ``python -m repro.cli online-sim``.
+
+Both append their measurements to ``BENCH_online.json`` at the repo root
+and hard-fail if serving stops being bit-identical to the offline
+forward, or if the gate stops catching the injected regression.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/online -m online_smoke -q
+    PYTHONPATH=src python -m pytest benchmarks/online -m online -q -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.online import (
+    OnlineSimConfig,
+    render_online_sim,
+    run_online_sim,
+    write_bench_record,
+)
+
+BENCH_ONLINE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent.parent / "BENCH_online.json"
+)
+
+
+def _run_and_record(config):
+    results = run_online_sim(config)
+    print("\n" + render_online_sim(results))
+    write_bench_record(results, BENCH_ONLINE_PATH)
+    publications = results["publications"]
+    assert results["parity"]["exact"], "serving/offline parity failed"
+    assert publications["rejected"] >= 1, "gate missed the injected regression"
+    assert all(
+        q["key"] == config.inject_regression_at
+        for q in publications["quarantine"]
+    ), "gate rejected a clean candidate"
+    assert results["events"]["events_per_sec"] > 0
+    return results
+
+
+@pytest.mark.online_smoke
+def test_online_smoke():
+    """Tiny stream: ingest → update → publish → rollback → serve parity."""
+    results = _run_and_record(OnlineSimConfig(
+        stream={"n_domains": 3, "n_users": 120, "n_items": 80,
+                "latent_dim": 6, "n_windows": 5, "window_events": 240,
+                "drift_rate": 0.2, "seed": 0},
+        bootstrap_windows=2, bootstrap_updates=1, inject_regression_at=3,
+        replay_capacity=600, holdout_capacity=150, parity_samples=32,
+    ))
+    assert results["publications"]["accepted"] >= 2
+
+
+@pytest.mark.online
+def test_online_full():
+    """The acceptance-sized run: the incremental model must beat the
+    frozen day-0 model once drift has rotated the world away."""
+    results = _run_and_record(OnlineSimConfig())
+    publications = results["publications"]
+    assert publications["accepted"] >= 3
+    assert publications["rejected"] == 1
+    post = results["post_drift_auc"]
+    assert post["gain"] > 0, (
+        f"incremental updates stopped paying off under drift: "
+        f"incremental {post['incremental']:.4f} vs frozen "
+        f"{post['frozen']:.4f}"
+    )
+    assert results["staleness"]["mean_windows"] <= 2.0

@@ -134,6 +134,31 @@ def build_parser():
                        help="optional SessionConfig JSON file supplying the "
                             "model, seed and training hyper-parameters")
     serve.add_argument("--verbose", action="store_true")
+
+    online = commands.add_parser(
+        "online-sim",
+        help="run the continual-learning pipeline on a drifted event "
+             "stream: ingest, incremental DN/DR updates, gated snapshot "
+             "publication with rollback, serving parity audit",
+    )
+    online.add_argument("--seed", type=int, default=0)
+    online.add_argument("--windows", type=int, default=None,
+                        help="number of stream micro-epochs")
+    online.add_argument("--window-events", type=int, default=None,
+                        help="events per micro-epoch")
+    online.add_argument("--drift-rate", type=float, default=None,
+                        help="concept-drift strength gained per window")
+    online.add_argument("--backend", choices=("local", "cluster"),
+                        default=None,
+                        help="shared-update path: in-process or the "
+                             "simulated PS-Worker cluster")
+    online.add_argument("--config", default=None,
+                        help="optional SessionConfig JSON file; its "
+                             "'online' section configures the pipeline")
+    online.add_argument("--out", default=None,
+                        help="benchmark journal path "
+                             "(default: BENCH_online.json; '-' to skip)")
+    online.add_argument("--verbose", action="store_true")
     return parser
 
 
@@ -198,6 +223,58 @@ def _run_serve_bench(args):
     return 0
 
 
+def _run_online_sim(args):
+    from dataclasses import replace
+
+    from .online.sim import (
+        DEFAULT_BENCH_PATH,
+        OnlineSimConfig,
+        build_sim_config,
+        render_online_sim,
+        run_online_sim,
+        write_bench_record,
+    )
+
+    if args.config is not None:
+        from .train import SessionConfig
+
+        config = build_sim_config(SessionConfig.from_file(args.config))
+    else:
+        config = OnlineSimConfig(seed=args.seed)
+    if args.config is not None and args.seed != 0:
+        config = config.updated(seed=args.seed)
+    stream_changes = {}
+    if args.windows is not None:
+        stream_changes["n_windows"] = args.windows
+    if args.window_events is not None:
+        stream_changes["window_events"] = args.window_events
+    if args.drift_rate is not None:
+        stream_changes["drift_rate"] = args.drift_rate
+    if stream_changes:
+        stream = replace(config.stream, **stream_changes)
+        changes = {"stream": stream}
+        # Keep the injected-regression window valid when a shorter stream
+        # is requested: it must stay post-bootstrap and pre-final.
+        inject = config.inject_regression_at
+        if inject is not None:
+            changes["inject_regression_at"] = min(
+                max(inject, config.bootstrap_windows), stream.n_windows - 2
+            )
+        config = config.updated(**changes)
+    if args.backend is not None:
+        config = config.updated(backend=args.backend)
+    results = run_online_sim(config, verbose=args.verbose)
+    print(render_online_sim(results))
+    out = args.out if args.out is not None else DEFAULT_BENCH_PATH
+    if out != "-":
+        path = write_bench_record(results, out)
+        print(f"results appended to {path}")
+    if not results["parity"]["exact"]:
+        print("serving/offline parity FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -215,6 +292,8 @@ def main(argv=None):
         return _run_train(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
+    if args.command == "online-sim":
+        return _run_online_sim(args)
     EXPERIMENT_RUNNERS[args.experiment](args)
     return 0
 

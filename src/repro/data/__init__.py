@@ -17,7 +17,7 @@ from .benchmarks import (
 )
 from .io import load_interactions_csv, save_interactions_csv
 from .schema import Domain, InteractionTable, MultiDomainDataset
-from .splits import split_table
+from .splits import split_table, temporal_split
 from .stats import overall_stats_row, overall_stats_table, per_domain_stats_table
 from .synthetic import DomainSpec, SyntheticConfig, generate_dataset
 
@@ -30,6 +30,7 @@ __all__ = [
     "Domain",
     "MultiDomainDataset",
     "split_table",
+    "temporal_split",
     "load_interactions_csv",
     "save_interactions_csv",
     "DomainSpec",

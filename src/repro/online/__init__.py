@@ -1,0 +1,53 @@
+"""``repro.online`` — the continual-learning pipeline (Section IV-E).
+
+Streaming ingestion with seeded concept drift, incremental DN/DR updates
+warm-started from published snapshots, a validation gate with automatic
+rollback + quarantine, and drift monitoring:
+
+    stream → trainer → gate/publisher → snapshot store → serving
+
+See ``python -m repro.cli online-sim`` for the end-to-end demo and
+DESIGN.md §11 for the architecture.
+"""
+
+from .drift import DriftMonitor, population_stability_index
+from .gate import DomainVerdict, GateConfig, GateDecision, ValidationGate
+from .publisher import GatedPublisher, PublishResult, QuarantineRecord
+from .sim import (
+    OnlineSimConfig,
+    build_sim_config,
+    render_online_sim,
+    run_online_sim,
+    write_bench_record,
+)
+from .stream import EventStream, StreamConfig, StreamWindow
+from .trainer import (
+    IncrementalTrainer,
+    OnlineUpdate,
+    ReplayBuffer,
+    space_from_snapshot,
+)
+
+__all__ = [
+    "DriftMonitor",
+    "population_stability_index",
+    "GateConfig",
+    "GateDecision",
+    "DomainVerdict",
+    "ValidationGate",
+    "GatedPublisher",
+    "PublishResult",
+    "QuarantineRecord",
+    "OnlineSimConfig",
+    "build_sim_config",
+    "run_online_sim",
+    "render_online_sim",
+    "write_bench_record",
+    "EventStream",
+    "StreamConfig",
+    "StreamWindow",
+    "IncrementalTrainer",
+    "OnlineUpdate",
+    "ReplayBuffer",
+    "space_from_snapshot",
+]

@@ -1,0 +1,127 @@
+"""Gated, atomic publication of candidates into the serving store.
+
+The publisher is the only component that touches the
+:class:`~repro.serving.snapshots.SnapshotStore`.  Its contract is
+canary-style:
+
+1. publish the candidate states as a new version (readers that pin
+   ``current()`` mid-flight are unaffected either way — the store's swap
+   is a single reference assignment);
+2. run the validation gate on the candidate against the *previously*
+   served snapshot as baseline;
+3. on failure, roll the store back to that baseline and append a
+   **quarantine record** — version, gate reasons, per-domain scores — so
+   a rejected update is a diagnosable artifact rather than a silent skip.
+
+The store's retention guard (``SnapshotStore._prune`` never evicts the
+live version *or* the rollback anchor) is what makes step 3 safe under
+retention pressure: the baseline is guaranteed to still be retained when
+the gate fails, even with ``keep=1``-style aggressive pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils import profiling
+
+__all__ = ["PublishResult", "QuarantineRecord", "GatedPublisher"]
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """Why a candidate version was rejected and rolled back."""
+
+    version: int
+    rolled_back_to: int | None
+    reasons: tuple
+    decision: object
+    key: object = None
+
+    def as_dict(self):
+        return {
+            "version": self.version,
+            "rolled_back_to": self.rolled_back_to,
+            "reasons": list(self.reasons),
+            "key": self.key,
+            "gate": self.decision.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """Outcome of one gated publication attempt."""
+
+    accepted: bool
+    version: int              # candidate's version number (even if rejected)
+    served_version: int       # what the store serves after the attempt
+    decision: object
+    quarantine: QuarantineRecord | None = None
+
+
+class GatedPublisher:
+    """Publishes candidates through a :class:`ValidationGate`.
+
+    ``store`` is the serving :class:`SnapshotStore`; ``gate`` a
+    :class:`~repro.online.gate.ValidationGate`.  Quarantined rejections
+    accumulate on :attr:`quarantine` in publication order.
+    """
+
+    def __init__(self, store, gate):
+        self.store = store
+        self.gate = gate
+        self.quarantine = []
+        self.accepted_versions = []
+
+    def publish(self, states, default_state, holdouts, *, key=None,
+                metadata=None):
+        """Gate-and-publish one candidate; returns a :class:`PublishResult`.
+
+        ``states`` is ``{domain: Θ_i}``, ``default_state`` the candidate's
+        θ_S (served to unknown domains), ``holdouts`` the trainer's
+        ``{domain: InteractionTable}`` held-out recent windows.
+        """
+        try:
+            baseline = self.store.current()
+        except LookupError:  # nothing served yet: bootstrap publication
+            baseline = None
+        meta = dict(metadata or {})
+        meta.setdefault("update_key", key)
+        candidate = self.store.publish_states(
+            states, default_state=default_state, metadata=meta,
+        )
+        decision = self.gate.evaluate(states, holdouts, baseline=baseline)
+        if decision.accepted:
+            self.accepted_versions.append(candidate.version)
+            profiling.count("online.published")
+            return PublishResult(
+                accepted=True,
+                version=candidate.version,
+                served_version=candidate.version,
+                decision=decision,
+            )
+        rolled_back_to = None
+        if baseline is not None:
+            self.store.rollback(baseline.version)
+            rolled_back_to = baseline.version
+        record = QuarantineRecord(
+            version=candidate.version,
+            rolled_back_to=rolled_back_to,
+            reasons=tuple(decision.reasons),
+            decision=decision,
+            key=key,
+        )
+        self.quarantine.append(record)
+        profiling.count("online.quarantined")
+        if baseline is None:
+            raise RuntimeError(
+                "bootstrap candidate failed the gate with no prior version "
+                f"to roll back to: {list(decision.reasons)}"
+            )
+        return PublishResult(
+            accepted=False,
+            version=candidate.version,
+            served_version=rolled_back_to,
+            decision=decision,
+            quarantine=record,
+        )

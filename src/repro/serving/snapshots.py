@@ -134,6 +134,10 @@ class SnapshotStore:
         self._keep = keep
         self._versions = OrderedDict()
         self._current = None
+        # Rollback anchor: the version that was live before the latest
+        # install.  Never pruned, so a publication that fails its gate can
+        # always roll back — even under retention pressure (keep=1).
+        self._previous = None
         self._next_version = 1
 
     # ------------------------------------------------------------------
@@ -195,16 +199,25 @@ class SnapshotStore:
         self._versions[snapshot.version] = snapshot
         # The swap itself: one reference assignment. In-flight readers
         # keep whatever snapshot object they already pinned.
+        self._previous = self._current
         self._current = snapshot
         self._prune()
         return snapshot
 
     def _prune(self):
-        while len(self._versions) > self._keep:
-            oldest = next(iter(self._versions))
-            if oldest == self._current.version:
+        # Retention never evicts the live version or the rollback anchor:
+        # everything else goes oldest-first until the budget holds.  The
+        # protected versions are skipped (not a loop break), so retention
+        # pressure cannot pin unrelated old versions behind them.
+        protected = {self._current.version}
+        if self._previous is not None:
+            protected.add(self._previous.version)
+        for version in list(self._versions):
+            if len(self._versions) <= self._keep:
                 break
-            del self._versions[oldest]
+            if version in protected:
+                continue
+            del self._versions[version]
 
     # ------------------------------------------------------------------
     # Reading
@@ -233,8 +246,15 @@ class SnapshotStore:
         return snapshot
 
     def rollback(self, version):
-        """Atomically re-install a retained older version."""
-        self._current = self.get(version)
+        """Atomically re-install a retained older version.
+
+        The version rolled away *from* becomes the new rollback anchor,
+        so it survives retention and the rollback itself can be undone.
+        """
+        target = self.get(version)
+        if target is not self._current:
+            self._previous = self._current
+        self._current = target
         return self._current
 
     # ------------------------------------------------------------------

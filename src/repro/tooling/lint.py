@@ -177,11 +177,12 @@ class RawRandomRule(Rule):
 class DtypeDriftRule(Rule):
     name = "dtype-drift"
     description = (
-        "no float32/float16 astype()/dtype= literals in repro/nn or "
-        "repro/serving — the engine is float64 end-to-end, and the serving "
-        "path's bit-identical parity guarantee dies on any downcast"
+        "no float32/float16 astype()/dtype= literals in repro/nn, "
+        "repro/serving or repro/online — the engine is float64 end-to-end, "
+        "and both the serving path's and the continual pipeline's "
+        "bit-identical parity guarantees die on any downcast"
     )
-    scopes = ("repro/nn/", "repro/serving/")
+    scopes = ("repro/nn/", "repro/serving/", "repro/online/")
 
     _BAD_DOTTED = frozenset({
         "np.float32", "np.float16", "np.single", "np.half",

@@ -5,9 +5,16 @@ rituals (framework ``fit``, ``run_method`` specs, hand-built clusters)
 with one frozen, JSON-serializable :class:`SessionConfig`.
 """
 
-from .session import DistributedConfig, Session, SessionConfig, SessionResult
+from .session import (
+    ConfigError,
+    DistributedConfig,
+    Session,
+    SessionConfig,
+    SessionResult,
+)
 
 __all__ = [
+    "ConfigError",
     "DistributedConfig",
     "Session",
     "SessionConfig",

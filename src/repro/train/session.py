@@ -33,8 +33,33 @@ from ..distributed import FaultPlan, RetryPolicy, SimulatedCluster
 from ..frameworks import framework_by_name
 from ..metrics import evaluate_bank
 from ..models import build_model
+from ..nn.serialization import load_bank_states
 
-__all__ = ["DistributedConfig", "Session", "SessionConfig", "SessionResult"]
+__all__ = ["ConfigError", "DistributedConfig", "Session", "SessionConfig",
+           "SessionResult"]
+
+
+class ConfigError(ValueError):
+    """A session config is malformed (unknown key, bad nested section).
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` handlers
+    (and tests) keep working; exists so config mistakes surface as one
+    catchable, clearly-worded type instead of a bare ``TypeError`` from
+    deep inside a dataclass constructor.
+    """
+
+
+def _coerce(cls, data, section):
+    """Build nested config ``cls`` from a dict with a clear error."""
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        detail = f"unknown keys {unknown}" if unknown else str(exc)
+        raise ConfigError(
+            f"invalid {section!r} section in session config: {detail}"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -58,9 +83,15 @@ class DistributedConfig:
         if self.mode not in ("sync", "async"):
             raise ValueError(f"unknown mode {self.mode!r}")
         if isinstance(self.faults, dict):
-            object.__setattr__(self, "faults", FaultPlan(**self.faults))
+            object.__setattr__(
+                self, "faults",
+                _coerce(FaultPlan, self.faults, "distributed.faults"),
+            )
         if isinstance(self.retry, dict):
-            object.__setattr__(self, "retry", RetryPolicy(**self.retry))
+            object.__setattr__(
+                self, "retry",
+                _coerce(RetryPolicy, self.retry, "distributed.retry"),
+            )
 
     def to_dict(self):
         # asdict() would recurse into FaultPlan, whose mappingproxy
@@ -84,6 +115,14 @@ class SessionConfig:
     ``seed``.  With ``distributed`` set, the run goes through the
     simulated PS-Worker cluster instead of an in-process framework, and
     ``framework`` is ignored.
+
+    ``warm_start_snapshot`` names a checksummed bank archive (as written
+    by ``SnapshotStore.save`` / ``save_bank_states``) whose shared state
+    initializes the model before training — the continual-learning hook.
+    ``online`` is an optional plain-dict section of continual-pipeline
+    knobs (stream/gate/trainer overrides) consumed by
+    :func:`repro.online.sim.build_sim_config`; it rides along untouched
+    so one JSON artifact also describes an online run.
     """
 
     dataset: str = "taobao10_sim"
@@ -97,13 +136,23 @@ class SessionConfig:
     distributed: DistributedConfig | None = None
     model_kwargs: dict = field(default_factory=dict)
     framework_kwargs: dict = field(default_factory=dict)
+    warm_start_snapshot: str | None = None
+    online: dict | None = None
 
     def __post_init__(self):
         if isinstance(self.train, dict):
-            object.__setattr__(self, "train", TrainConfig(**self.train))
+            object.__setattr__(
+                self, "train", _coerce(TrainConfig, self.train, "train")
+            )
         if isinstance(self.distributed, dict):
             object.__setattr__(
-                self, "distributed", DistributedConfig(**self.distributed)
+                self, "distributed",
+                _coerce(DistributedConfig, self.distributed, "distributed"),
+            )
+        if self.online is not None and not isinstance(self.online, dict):
+            raise ConfigError(
+                "the 'online' section must be a JSON object of "
+                f"continual-pipeline knobs, got {type(self.online).__name__}"
             )
 
     @property
@@ -129,6 +178,7 @@ class SessionConfig:
         )
         out["model_kwargs"] = dict(self.model_kwargs)
         out["framework_kwargs"] = dict(self.framework_kwargs)
+        out["online"] = None if self.online is None else dict(self.online)
         return out
 
     @classmethod
@@ -136,7 +186,7 @@ class SessionConfig:
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown session config keys: {sorted(unknown)}"
             )
         return cls(**data)
@@ -175,6 +225,7 @@ class Session:
         self.config = config
         self._dataset = dataset
         self.cluster = None
+        self._warm_start = None
 
     def build_dataset(self):
         if self._dataset is not None:
@@ -183,8 +234,33 @@ class Session:
 
     def build_model(self, dataset, seed=None):
         seed = self.config.effective_model_seed if seed is None else seed
-        return build_model(self.config.model, dataset, seed=seed,
-                           **dict(self.config.model_kwargs))
+        model = build_model(self.config.model, dataset, seed=seed,
+                            **dict(self.config.model_kwargs))
+        warm = self.warm_start_state()
+        if warm is not None:
+            model.load_state_dict(warm)
+        return model
+
+    def warm_start_state(self):
+        """The shared state θ_S from ``warm_start_snapshot`` (cached).
+
+        Loaded through the checksummed archive reader, so a truncated or
+        corrupted snapshot fails here with a clear error instead of
+        silently training from garbage.
+        """
+        if self.config.warm_start_snapshot is None:
+            return None
+        if self._warm_start is None:
+            _states, default = load_bank_states(
+                self.config.warm_start_snapshot, require_checksum=True
+            )
+            if default is None:
+                raise ConfigError(
+                    f"warm-start archive {self.config.warm_start_snapshot!r} "
+                    "has no default (shared) state"
+                )
+            self._warm_start = default
+        return self._warm_start
 
     def fit(self, profiler=None):
         """Run the configured training and return a :class:`SessionResult`.

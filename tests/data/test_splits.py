@@ -70,3 +70,78 @@ def test_split_deterministic_under_seed():
     for part_a, part_b in zip(a, b):
         np.testing.assert_array_equal(part_a.users, part_b.users)
         np.testing.assert_array_equal(part_a.items, part_b.items)
+
+
+# ----------------------------------------------------------------------
+# Temporal split (the online holdout)
+# ----------------------------------------------------------------------
+def make_timed_table(n, seed=0):
+    rng = np.random.default_rng(seed)
+    from repro.data import InteractionTable as Table
+    table = Table(
+        rng.integers(0, 50, n), rng.integers(0, 50, n),
+        rng.integers(0, 2, n).astype(np.float64),
+    )
+    return table, np.arange(100, 100 + n)
+
+
+def test_temporal_split_never_shuffles():
+    from repro.data import temporal_split
+
+    table, times = make_timed_table(40)
+    train, holdout, cutoff = temporal_split(table, times, holdout_frac=0.25)
+    assert len(train) == 30 and len(holdout) == 10
+    np.testing.assert_array_equal(train.users, table.users[:30])
+    np.testing.assert_array_equal(holdout.users, table.users[30:])
+    assert cutoff == times[29]
+
+
+def test_temporal_split_orders_unsorted_input_by_time():
+    from repro.data import InteractionTable as Table
+    from repro.data import temporal_split
+
+    # users double as row ids: row i carries time 100 + i, rows scrambled.
+    n = 20
+    scrambled = np.random.default_rng(3).permutation(n)
+    table = Table(scrambled, scrambled, np.zeros(n))
+    train, holdout, cutoff = temporal_split(
+        table, 100 + scrambled, holdout_frac=0.25
+    )
+    # both outputs come back in time order...
+    np.testing.assert_array_equal(train.users, np.arange(15))
+    np.testing.assert_array_equal(holdout.users, np.arange(15, n))
+    # ...and every holdout row is later than every training row.
+    assert cutoff == 100 + 14
+
+
+def test_temporal_split_watermark_pins_cutoff():
+    from repro.data import temporal_split
+
+    table, times = make_timed_table(30)
+    train, holdout, cutoff = temporal_split(table, times, watermark=112)
+    assert cutoff == 112
+    assert len(train) == 13          # times 100..112 inclusive
+    np.testing.assert_array_equal(train.users, table.users[:13])
+    np.testing.assert_array_equal(holdout.users, table.users[13:])
+
+
+def test_temporal_split_validation():
+    from repro.data import InteractionTable as Table
+    from repro.data import temporal_split
+
+    table, times = make_timed_table(10)
+    with pytest.raises(ValueError, match="align"):
+        temporal_split(table, times[:-1])
+    with pytest.raises(ValueError, match="empty"):
+        temporal_split(Table.concatenate([]), np.array([]))
+    with pytest.raises(ValueError, match="holdout_frac"):
+        temporal_split(table, times, holdout_frac=1.0)
+
+
+def test_temporal_split_single_row_trains():
+    from repro.data import temporal_split
+
+    table, times = make_timed_table(1)
+    train, holdout, cutoff = temporal_split(table, times)
+    assert len(train) == 1 and len(holdout) == 0
+    assert cutoff == times[0]

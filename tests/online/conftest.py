@@ -1,0 +1,42 @@
+"""Shared fixtures for the continual-learning pipeline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TrainConfig
+from repro.models import build_model
+from repro.online import EventStream, StreamConfig
+
+
+def small_stream_config(**overrides):
+    """A stream small enough for per-test generation and training."""
+    base = dict(
+        n_domains=3, n_users=120, n_items=80, latent_dim=6,
+        n_windows=4, window_events=180, drift_rate=0.2, seed=0,
+    )
+    base.update(overrides)
+    return StreamConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return EventStream(small_stream_config())
+
+
+@pytest.fixture(scope="module")
+def skeleton(stream):
+    return stream.skeleton_dataset()
+
+
+@pytest.fixture()
+def online_config():
+    """A DN/DR schedule sized for micro-epoch unit tests."""
+    return TrainConfig(
+        epochs=1, batch_size=64, inner_steps=2, dn_rounds=1,
+        sample_k=1, dr_steps=1,
+    )
+
+
+def make_stream_model(skeleton, seed=0):
+    return build_model("mlp", skeleton, seed=seed)

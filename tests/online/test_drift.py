@@ -1,0 +1,128 @@
+"""Drift monitor: population stability and gradient-conflict probes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.online import DriftMonitor, EventStream, population_stability_index
+
+from tests.online.conftest import make_stream_model, small_stream_config
+from tests.online.test_trainer import make_trainer
+
+pytestmark = pytest.mark.online
+
+
+# ----------------------------------------------------------------------
+# PSI
+# ----------------------------------------------------------------------
+def test_psi_zero_for_identical_distributions():
+    p = np.array([0.2, 0.3, 0.5])
+    assert population_stability_index(p, p) == pytest.approx(0.0)
+
+
+def test_psi_positive_and_grows_with_shift():
+    reference = np.array([0.25, 0.25, 0.25, 0.25])
+    mild = np.array([0.3, 0.25, 0.25, 0.2])
+    severe = np.array([0.7, 0.1, 0.1, 0.1])
+    assert population_stability_index(reference, mild) > 0.0
+    assert (population_stability_index(reference, severe)
+            > population_stability_index(reference, mild))
+
+
+def test_psi_symmetric_in_direction():
+    a = np.array([0.6, 0.2, 0.2])
+    b = np.array([0.2, 0.2, 0.6])
+    assert population_stability_index(a, b) == pytest.approx(
+        population_stability_index(b, a)
+    )
+
+
+def test_psi_handles_empty_bins_finitely():
+    reference = np.array([0.5, 0.5, 0.0])
+    current = np.array([0.0, 0.5, 0.5])
+    psi = population_stability_index(reference, current)
+    assert np.isfinite(psi) and psi > 0.0
+
+
+def test_psi_input_validation():
+    with pytest.raises(ValueError, match="aligned"):
+        population_stability_index([0.5, 0.5], [1.0])
+    with pytest.raises(ValueError, match="non-empty"):
+        population_stability_index([0.0, 0.0], [0.5, 0.5])
+
+
+# ----------------------------------------------------------------------
+# Monitor over stream windows
+# ----------------------------------------------------------------------
+def test_first_window_freezes_reference_and_scores_zero(stream):
+    monitor = DriftMonitor(stream.config.n_items)
+    record = monitor.observe(stream.window(0))
+    assert record["window"] == 0
+    for entry in record["domains"].values():
+        assert entry["item_psi"] == pytest.approx(0.0)
+        assert entry["ctr_shift"] == pytest.approx(0.0)
+
+
+def test_drifted_windows_score_higher_than_stationary():
+    """Under heavy popularity drift the item-traffic PSI must rise well
+    above the noise floor of a same-distribution stream."""
+    drifting = EventStream(small_stream_config(
+        n_windows=6, drift_rate=0.18, window_events=300,
+    ))
+    stationary = EventStream(small_stream_config(
+        n_windows=6, drift_rate=0.0, window_events=300, seed=3,
+    ))
+
+    def late_psi(stream):
+        monitor = DriftMonitor(stream.config.n_items)
+        for window in stream.windows():
+            record = monitor.observe(window)
+        return max(e["item_psi"] for e in record["domains"].values())
+
+    assert late_psi(drifting) > 2 * late_psi(stationary)
+
+
+def test_history_accumulates_in_window_order(stream):
+    monitor = DriftMonitor(stream.config.n_items)
+    for window in stream.windows():
+        monitor.observe(window)
+    assert [r["window"] for r in monitor.history] == list(
+        range(stream.config.n_windows)
+    )
+    assert [r["watermark"] for r in monitor.history] == sorted(
+        r["watermark"] for r in monitor.history
+    )
+
+
+def test_conflict_probe_attaches_report(stream, skeleton, online_config):
+    trainer = make_trainer(stream, skeleton, online_config)
+    monitor = DriftMonitor(stream.config.n_items,
+                           seed=stream.config.seed)
+    for index in range(2):
+        window = stream.window(index)
+        monitor.observe(window)
+        trainer.ingest(window)
+    model = make_stream_model(skeleton)
+    model.load_state_dict(trainer.space.shared)
+    report = monitor.conflict(model, trainer.window_dataset(), key=1)
+    assert 0.0 <= report["conflict_rate"] <= 1.0
+    assert monitor.history[-1]["conflict"] is report
+
+
+def test_conflict_probe_is_deterministic(stream, skeleton, online_config):
+    reports = []
+    for _ in range(2):
+        trainer = make_trainer(stream, skeleton, online_config)
+        monitor = DriftMonitor(stream.config.n_items,
+                               seed=stream.config.seed)
+        for index in range(2):
+            window = stream.window(index)
+            monitor.observe(window)
+            trainer.ingest(window)
+        model = make_stream_model(skeleton)
+        model.load_state_dict(trainer.space.shared)
+        reports.append(monitor.conflict(model, trainer.window_dataset(),
+                                        key=1))
+    assert reports[0]["conflict_rate"] == reports[1]["conflict_rate"]
+    assert reports[0]["mean_cosine"] == reports[1]["mean_cosine"]

@@ -1,0 +1,103 @@
+"""End-to-end continual-learning smoke: ingest → update → gate → serve."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.online import (
+    OnlineSimConfig,
+    render_online_sim,
+    run_online_sim,
+    write_bench_record,
+)
+from repro.train import ConfigError
+
+pytestmark = [pytest.mark.online, pytest.mark.online_smoke]
+
+
+def smoke_config(**overrides):
+    base = dict(
+        stream={"n_domains": 3, "n_users": 120, "n_items": 80,
+                "latent_dim": 6, "n_windows": 5, "window_events": 240,
+                "drift_rate": 0.2, "seed": 0},
+        bootstrap_windows=2, bootstrap_updates=1, inject_regression_at=3,
+        replay_capacity=600, holdout_capacity=150, parity_samples=32,
+        seed=0,
+    )
+    base.update(overrides)
+    return OnlineSimConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_online_sim(smoke_config())
+
+
+def test_pipeline_publishes_and_catches_injected_regression(results):
+    publications = results["publications"]
+    assert publications["accepted"] >= 2
+    assert publications["rejected"] == 1
+    quarantined = publications["quarantine"][0]
+    assert quarantined["key"] == 3          # the injected window
+    assert quarantined["rolled_back_to"] in publications["accepted_versions"]
+    assert quarantined["reasons"]
+    # The final accepted version is what serving answers from.
+    assert publications["served_version"] == max(
+        publications["accepted_versions"]
+    )
+
+
+def test_serving_parity_is_bit_exact(results):
+    assert results["parity"]["exact"]
+    assert results["parity"]["max_abs_diff"] == 0.0
+    assert results["parity"]["n_requests"] > 0
+
+
+def test_prequential_records_cover_steady_state(results):
+    records = results["auc_over_time"]
+    assert [r["window"] for r in records] == [2, 3, 4]
+    for record in records:
+        assert 0.0 <= record["incremental_auc"] <= 1.0
+        assert 0.0 <= record["frozen_auc"] <= 1.0
+        assert record["max_item_psi"] >= 0.0
+    assert records[1]["injected_regression"]
+    assert not records[1]["accepted"]
+    assert records[-1]["accepted"]
+
+
+def test_throughput_and_staleness_are_recorded(results):
+    assert results["events"]["total"] == 5 * 240
+    assert results["events"]["events_per_sec"] > 0
+    assert results["update_latency"]["count"] == 4   # 1 bootstrap + 3 steady
+    assert results["update_latency"]["p95_s"] >= results["update_latency"][
+        "mean_s"] * 0.5
+    assert results["staleness"]["max_windows"] >= 0
+
+
+def test_render_and_bench_record_round_trip(results, tmp_path):
+    rendered = render_online_sim(results)
+    assert "Online continual-learning simulation" in rendered
+    assert "serving parity: bit-exact" in rendered
+    path = write_bench_record(results, tmp_path / "BENCH_online.json")
+    payload = json.loads(path.read_text())
+    record = payload["benchmarks"]["online_sim"]
+    assert record["parity_exact"] is True
+    assert record["publications_rejected"] == 1
+    assert len(record["auc_over_time"]) == 3
+    # Re-writing merges rather than clobbering the journal.
+    payload["benchmarks"]["other"] = {"kept": True}
+    path.write_text(json.dumps(payload))
+    write_bench_record(results, path)
+    merged = json.loads(path.read_text())
+    assert merged["benchmarks"]["other"] == {"kept": True}
+
+
+def test_config_validation_uses_config_error():
+    with pytest.raises(ConfigError, match="bootstrap_windows"):
+        smoke_config(bootstrap_windows=5)
+    with pytest.raises(ConfigError, match="inject_regression_at"):
+        smoke_config(inject_regression_at=4)
+    with pytest.raises(ConfigError, match="'stream' section"):
+        smoke_config(stream={"n_windowz": 5})

@@ -1,0 +1,127 @@
+"""Event-stream simulator: determinism, ordering, skew, drift."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.online import EventStream, StreamConfig
+
+from tests.online.conftest import small_stream_config
+
+pytestmark = pytest.mark.online
+
+
+def test_same_seed_gives_identical_stream():
+    a = EventStream(small_stream_config())
+    b = EventStream(small_stream_config())
+    for wa, wb in zip(a.windows(), b.windows()):
+        np.testing.assert_array_equal(wa.users, wb.users)
+        np.testing.assert_array_equal(wa.items, wb.items)
+        np.testing.assert_array_equal(wa.labels, wb.labels)
+        np.testing.assert_array_equal(wa.domains, wb.domains)
+        np.testing.assert_array_equal(wa.times, wb.times)
+
+
+def test_different_seed_gives_different_stream():
+    a = EventStream(small_stream_config(seed=0)).window(0)
+    b = EventStream(small_stream_config(seed=1)).window(0)
+    assert not np.array_equal(a.labels, b.labels)
+
+
+def test_windows_independent_of_generation_order():
+    """window(i) is a pure function of its index — replays see the same
+    stream no matter which windows were generated before."""
+    fresh = EventStream(small_stream_config())
+    sequential = EventStream(small_stream_config())
+    for _ in sequential.windows():   # exhaust in order
+        pass
+    direct = fresh.window(3)         # cold, out of order
+    replay = sequential.window(3)
+    np.testing.assert_array_equal(direct.users, replay.users)
+    np.testing.assert_array_equal(direct.labels, replay.labels)
+
+
+def test_global_clock_and_watermarks(stream):
+    previous_watermark = -1
+    for window in stream.windows():
+        assert window.start_time == window.index * len(window)
+        assert np.all(np.diff(window.times) > 0)
+        assert window.times[0] == window.start_time
+        assert window.watermark == window.times[-1]
+        assert window.start_time > previous_watermark
+        previous_watermark = window.watermark
+
+
+def test_rate_skew_makes_domain_zero_hottest(stream):
+    counts = np.zeros(stream.config.n_domains)
+    for window in stream.windows():
+        counts += np.bincount(window.domains,
+                              minlength=stream.config.n_domains)
+    assert counts[0] == counts.max()
+    assert counts[-1] == counts.min()
+    assert counts.min() > 0
+
+
+def test_drift_level_grows_and_caps():
+    stream = EventStream(small_stream_config(drift_rate=0.4, max_drift=0.7,
+                                             n_windows=4))
+    levels = [stream.drift_level(i) for i in range(4)]
+    assert levels[0] == 0.0
+    assert levels[1] == pytest.approx(0.4)
+    assert levels[2] == pytest.approx(0.7)   # capped
+    assert levels[3] == pytest.approx(0.7)
+
+
+def test_window_out_of_range_raises(stream):
+    with pytest.raises(IndexError):
+        stream.window(stream.config.n_windows)
+    with pytest.raises(IndexError):
+        stream.window(-1)
+
+
+def test_per_domain_partitions_and_preserves_order(stream):
+    window = stream.window(1)
+    total = 0
+    for domain, (table, times) in window.per_domain().items():
+        mask = window.domains == domain
+        np.testing.assert_array_equal(table.users, window.users[mask])
+        np.testing.assert_array_equal(table.items, window.items[mask])
+        np.testing.assert_array_equal(times, window.times[mask])
+        assert np.all(np.diff(times) > 0)   # event order survives
+        total += len(table)
+    assert total == len(window)
+
+
+def test_item_traffic_shifts_with_drift(stream):
+    """Popularity drift: the impression distribution rotates with the
+    preference structure, so the drift monitor has a covariate signal."""
+    calm = stream.item_probs(0, 0.0)
+    drifted = stream.item_probs(0, 0.9)
+    assert calm.shape == drifted.shape
+    assert np.abs(calm - drifted).max() > 0.01
+
+
+def test_day0_positive_rate_near_target(stream):
+    window = stream.window(0)
+    assert abs(window.positive_rate() - stream.config.target_ctr) < 0.12
+
+
+def test_skeleton_dataset_shape(stream, skeleton):
+    assert skeleton.n_domains == stream.config.n_domains
+    assert skeleton.n_users == stream.config.n_users
+    assert skeleton.n_items == stream.config.n_items
+    for domain in skeleton.domains:
+        assert len(domain.train) == 0
+        assert len(domain.val) == 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        StreamConfig(n_domains=1)
+    with pytest.raises(ValueError):
+        StreamConfig(max_drift=1.0)
+    with pytest.raises(ValueError):
+        StreamConfig(target_ctr=0.0)
+    with pytest.raises(ValueError):
+        StreamConfig(n_domains=4, window_events=20)

@@ -170,3 +170,55 @@ def test_static_row_ids_rank_by_frequency(space):
         snapshot.static_row_ids(name, 10), [1, 2, 3, 5]
     )
     assert snapshot.static_row_ids("unknown", 3).size == 0
+
+
+# ----------------------------------------------------------------------
+# Retention vs. rollback (the online-publisher contract)
+# ----------------------------------------------------------------------
+def test_retention_never_evicts_served_version(space):
+    """The currently-served version survives any amount of retention
+    pressure — even when it is the oldest retained version (post
+    rollback) and the budget is a single slot."""
+    store = SnapshotStore(keep=1)
+    store.publish(space)                 # v1
+    store.publish(space)                 # v2
+    store.publish(space)                 # v3
+    store.rollback(2)                    # serve the old anchor
+    assert store.version == 2
+    assert 2 in store.versions()
+    snapshot = store.current()
+    # readers pinned on v2 keep a live, retained version throughout
+    assert store.get(2) is snapshot
+
+
+def test_publish_during_rollback_keeps_baseline_retained(space):
+    """Regression: canary publish on top of a rolled-back store with
+    keep=1 must leave the rollback target available for the next
+    rollback.  Before the rollback-anchor fix, _prune evicted it."""
+    store = SnapshotStore(keep=1)
+    store.publish(space)                 # v1 (served)
+    store.publish(space)                 # v2: canary candidate
+    # Gate fails: publisher rolls back to v1.
+    store.rollback(1)
+    assert store.version == 1
+    # Next window's canary publishes while v1 is being served.
+    store.publish(space)                 # v3
+    assert store.version == 3
+    # v1 must still be retained — a second gate failure rolls back again.
+    store.rollback(1)
+    assert store.version == 1
+    assert 1 in store.versions()
+
+
+def test_prune_does_not_pin_unrelated_versions_behind_anchor(space):
+    """Protected versions are skipped, not loop-breaks: old unprotected
+    versions still get pruned even when an anchor sits before them."""
+    store = SnapshotStore(keep=2)
+    store.publish(space)                 # v1
+    store.publish(space)                 # v2
+    store.rollback(1)                    # current=v1, previous=v2
+    store.publish(space)                 # v3: previous=v1
+    store.publish(space)                 # v4: previous=v3
+    # Budget 2: v1 (old) is now unprotected and must go; v3 (anchor) and
+    # v4 (current) stay.
+    assert store.versions() == [3, 4]

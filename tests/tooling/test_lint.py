@@ -103,6 +103,18 @@ class TestDtypeDrift:
             x = np.zeros(3, dtype=np.float32)
         """, path="src/repro/data/foo.py") == []
 
+    def test_flags_downcast_in_serving_and_online(self):
+        # Both bit-parity-guaranteeing subsystems are in scope: a single
+        # float32 downcast breaks serving == offline forward exactness.
+        source = """
+            import numpy as np
+            x = np.zeros(3, dtype=np.float32)
+        """
+        assert rules_fired(source,
+                           path="src/repro/serving/foo.py") == ["dtype-drift"]
+        assert rules_fired(source,
+                           path="src/repro/online/foo.py") == ["dtype-drift"]
+
     def test_dynamic_dtype_variable_allowed(self):
         # sparse.py's __array__(dtype=None) pattern: a variable, not a literal
         assert rules_fired("""

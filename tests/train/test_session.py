@@ -167,3 +167,94 @@ def test_run_method_goes_through_session(tiny_dataset, fast_config):
                                               fast_config, seed=0)
     manual = evaluate_bank(bank, tiny_dataset, method="MLP+Alternate")
     assert report.mean_auc == pytest.approx(manual.mean_auc, abs=0.0)
+
+
+# ----------------------------------------------------------------------
+# ConfigError, the online section, and warm starts
+# ----------------------------------------------------------------------
+def test_config_errors_are_one_catchable_type():
+    from repro.train import ConfigError
+
+    assert issubclass(ConfigError, ValueError)
+    with pytest.raises(ConfigError, match="unknown session config keys"):
+        SessionConfig.from_dict({"modell": "mlp"})
+    with pytest.raises(ConfigError, match="'train' section"):
+        SessionConfig(train={"epochz": 3})
+    with pytest.raises(ConfigError, match="'distributed.faults' section"):
+        SessionConfig(distributed={"faults": {"drop_ratee": 0.1}})
+    with pytest.raises(ConfigError, match="'online' section"):
+        SessionConfig(online=[1, 2, 3])
+
+
+def test_online_and_warm_start_round_trip(tmp_path):
+    config = SessionConfig(
+        model="mlp", seed=5,
+        warm_start_snapshot="artifacts/day0.npz",
+        online={"bootstrap_windows": 2,
+                "stream": {"n_windows": 6, "drift_rate": 0.1}},
+    )
+    path = tmp_path / "session.json"
+    path.write_text(json.dumps(config.to_dict()))
+    loaded = SessionConfig.from_file(path)
+    assert loaded == config
+    assert loaded.warm_start_snapshot == "artifacts/day0.npz"
+    assert loaded.online["stream"]["drift_rate"] == 0.1
+    # defaults stay None and survive the round trip too
+    bare = SessionConfig.from_dict(json.loads(
+        json.dumps(SessionConfig().to_dict())
+    ))
+    assert bare.warm_start_snapshot is None and bare.online is None
+
+
+def test_warm_start_snapshot_seeds_the_model(tiny_dataset, fast_config,
+                                             tmp_path):
+    from repro.nn.serialization import save_bank_states
+
+    trained = build_model("mlp", tiny_dataset, seed=0)
+    state = {n: v + 0.5 for n, v in trained.state_dict().items()}
+    path = tmp_path / "day0.npz"
+    save_bank_states(path, {}, default_state=state)
+
+    session = Session(
+        SessionConfig(dataset=tiny_dataset.name, model="mlp", seed=0,
+                      train=fast_config, warm_start_snapshot=str(path)),
+        dataset=tiny_dataset,
+    )
+    model = session.build_model(tiny_dataset)
+    assert state_checksum(model.state_dict()) == state_checksum(state)
+
+
+def test_warm_start_archive_without_default_state_rejected(tiny_dataset,
+                                                           tmp_path):
+    from repro.nn.serialization import save_bank_states
+    from repro.train import ConfigError
+
+    trained = build_model("mlp", tiny_dataset, seed=0)
+    path = tmp_path / "bank.npz"
+    save_bank_states(path, {0: trained.state_dict()})
+    session = Session(
+        SessionConfig(dataset=tiny_dataset.name, model="mlp",
+                      warm_start_snapshot=str(path)),
+        dataset=tiny_dataset,
+    )
+    with pytest.raises(ConfigError, match="no default"):
+        session.build_model(tiny_dataset)
+
+
+def test_online_section_feeds_the_sim_config():
+    from repro.online import build_sim_config
+    from repro.train import ConfigError
+
+    config = SessionConfig(
+        model="mlp", seed=9, train={"epochs": 1, "dn_rounds": 2},
+        online={"bootstrap_windows": 2,
+                "stream": {"n_windows": 6, "window_events": 240},
+                "inject_regression_at": 3},
+    )
+    sim = build_sim_config(config)
+    assert sim.seed == 9                       # inherits the session seed
+    assert sim.train is config.train           # and the session schedule
+    assert sim.stream.n_windows == 6
+    assert sim.inject_regression_at == 3
+    with pytest.raises(ConfigError, match="unknown online config keys"):
+        build_sim_config(SessionConfig(online={"bootstrap_windowz": 2}))
