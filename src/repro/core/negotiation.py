@@ -17,6 +17,7 @@ every domain's loss and ascends the pairwise gradient inner-products
 from __future__ import annotations
 
 from ..frameworks.base import LearningFramework, SingleModelBank
+from ..nn.compile import compile_context
 from ..nn.state import clone_state, state_interpolate_
 from ..utils.seeding import spawn_rng
 from .param_space import live_state_view
@@ -43,17 +44,18 @@ def domain_negotiation_epoch(model, dataset, shared_state, config, rng,
 
     domain_order = list(range(dataset.n_domains))
     rng.shuffle(domain_order)
-    for domain_index in domain_order:
-        domain = dataset.domain(domain_index)
-        train_steps(
-            model,
-            getattr(domain, split),
-            domain_index,
-            optimizer,
-            rng,
-            config.batch_size,
-            config.inner_steps,
-        )
+    with compile_context(config.compile_steps):
+        for domain_index in domain_order:
+            domain = dataset.domain(domain_index)
+            train_steps(
+                model,
+                getattr(domain, split),
+                domain_index,
+                optimizer,
+                rng,
+                config.batch_size,
+                config.inner_steps,
+            )
 
     # Eq. 3 without materializing model.state_dict(): interpolate the owned
     # clone toward a zero-copy view of the live parameters (one full-state

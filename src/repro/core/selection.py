@@ -125,6 +125,7 @@ def finetune_with_selection(model, domain, optimizer, rng, batch_size,
     step = 0
     for batch in iter_minibatches(train_table, domain.index, batch_size,
                                   rng=rng, max_batches=max_steps):
+        # lint: allow[eager-inner-loop] — per-round fine-tune probe, eager by design.
         loss = model.loss(batch)
         model.zero_grad()
         loss.backward()

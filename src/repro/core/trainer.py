@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..data.batching import iter_minibatches
+from ..nn.compile import active_executor
 from ..nn.optim import make_optimizer
 from ..nn.sparse import SparseGrad
 from ..utils import profiling
@@ -13,19 +14,30 @@ __all__ = ["train_steps", "make_inner_optimizer", "compute_loss_gradient"]
 def train_steps(model, table, domain, optimizer, rng, batch_size, max_steps):
     """Run up to ``max_steps`` minibatch updates of ``model`` on one domain.
 
+    Inside a :func:`repro.nn.compiled_execution` context, steps route
+    through the model's :class:`~repro.nn.StepExecutor` — first occurrence
+    of a batch signature traces eagerly, the rest replay the compiled tape.
+    Otherwise the loop below is the plain eager step.
+
     Returns the mean training loss over the executed steps (0.0 when the
     table is empty).
     """
+    executor = active_executor(model)
     total, steps = 0.0, 0
     for batch in iter_minibatches(table, domain, batch_size, rng=rng,
                                   max_batches=max_steps):
         start = profiling.tick()
-        loss = model.loss(batch)
-        model.zero_grad()
-        loss.backward()
-        optimizer.step()
+        if executor is not None:
+            loss_value = executor.step(batch, optimizer)
+        else:
+            # lint: allow[eager-inner-loop] — this IS the eager fallback.
+            loss = model.loss(batch)
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+            loss_value = loss.item()
         profiling.tock("train.step", start)
-        total += loss.item()
+        total += loss_value
         steps += 1
     return total / steps if steps else 0.0
 

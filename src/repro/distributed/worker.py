@@ -20,6 +20,7 @@ import warnings
 import numpy as np
 
 from ..data.batching import iter_minibatches
+from ..nn.compile import active_executor, compile_context
 from ..nn.layers import Embedding
 from ..nn.optim import make_optimizer
 from .cache import EmbeddingCache
@@ -129,14 +130,15 @@ class Worker:
 
         order = list(self.domain_indices)
         rng.shuffle(order)
-        for domain_index in order:
-            domain = dataset.domain(domain_index)
-            for batch in iter_minibatches(
-                domain.train, domain_index, self.config.batch_size,
-                rng=rng, max_batches=self.config.inner_steps,
-            ):
-                self._train_batch(batch)
-            self.client.heartbeat()
+        with compile_context(getattr(self.config, "compile_steps", None)):
+            for domain_index in order:
+                domain = dataset.domain(domain_index)
+                for batch in iter_minibatches(
+                    domain.train, domain_index, self.config.batch_size,
+                    rng=rng, max_batches=self.config.inner_steps,
+                ):
+                    self._train_batch(batch)
+                self.client.heartbeat()
 
         dense_delta = {
             name: self._named[name].data - static_dense[name]
@@ -152,12 +154,19 @@ class Worker:
 
     def _train_batch(self, batch):
         touched = self._materialize_rows(batch)
-        loss = self.model.loss(batch)
-        self.model.zero_grad()
-        loss.backward()
-        self.optimizer.step()
+        executor = active_executor(self.model)
+        if executor is not None:
+            loss_value = executor.step(batch, self.optimizer)
+        else:
+            # lint: allow[eager-inner-loop] — this IS the eager fallback.
+            loss = self.model.loss(batch)
+            self.model.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            loss_value = loss.item()
         self._writeback_rows(touched)
-        return loss.item()
+        return loss_value
+
 
     def _materialize_rows(self, batch):
         """Fetch the embedding rows this batch touches into the model."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Dense, Embedding, Module, Tensor
+from ..nn import Dense, Embedding, Module
 from ..nn import functional as F
 
 __all__ = [
@@ -77,8 +77,10 @@ class FixedFeatureEncoder(FeatureEncoder):
         self.item_projection = Dense(self._item_features.shape[1], field_dim, rng)
 
     def fields(self, batch):
-        user_raw = Tensor(self._user_features[batch.users])
-        item_raw = Tensor(self._item_features[batch.items])
+        # fixed_gather (not a bare Tensor(...) wrap) so the compiled executor
+        # re-gathers with each replay batch's ids.
+        user_raw = F.fixed_gather(self._user_features, batch.users)
+        item_raw = F.fixed_gather(self._item_features, batch.items)
         return [
             self.user_projection(user_raw),
             self.item_projection(item_raw),

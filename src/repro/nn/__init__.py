@@ -7,6 +7,15 @@ in this reproduction.
 """
 
 from . import functional
+from .compile import (
+    StepExecutor,
+    compilation_enabled,
+    compile_context,
+    compiled_execution,
+    eager_step,
+    executor_for,
+    active_executor,
+)
 from .init import glorot_uniform, he_uniform, normal, zeros
 from .layers import (
     Dense,
@@ -92,4 +101,11 @@ __all__ = [
     "SparseGrad",
     "use_sparse_grads",
     "sparse_grads_enabled",
+    "StepExecutor",
+    "compiled_execution",
+    "compile_context",
+    "compilation_enabled",
+    "executor_for",
+    "active_executor",
+    "eager_step",
 ]

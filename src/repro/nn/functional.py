@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..utils import profiling
-from . import sparse
+from . import _tracing, sparse
 from .tensor import Tensor, _stable_sigmoid, as_tensor, unbroadcast
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "concat",
     "stack",
     "embedding",
+    "fixed_gather",
     "linear",
     "fused_dense",
     "bce_with_logits",
@@ -60,13 +61,22 @@ def leaky_relu(x, negative_slope=0.01):
     x = as_tensor(x)
     mask = x.data > 0.0
     scale = np.where(mask, 1.0, negative_slope)
-    return Tensor._make(x.data * scale, (x,), lambda g: (g * scale,))
+    out = Tensor._make(x.data * scale, (x,), lambda g: (g * scale,))
+    if _tracing.TRACER is not None:
+        _tracing.TRACER.node(out, "leaky_relu", (x,), scale=scale,
+                             negative_slope=negative_slope)
+    return out
 
 
 def softmax(x, axis=-1):
     """Softmax along ``axis``, numerically stabilized with a detached max."""
     x = as_tensor(x)
-    shift = x - np.max(x.data, axis=axis, keepdims=True)
+    shift_by = np.max(x.data, axis=axis, keepdims=True)
+    if _tracing.TRACER is not None:
+        # The max is data-dependent; record it so a compiled replay
+        # recomputes it instead of replaying a stale constant.
+        _tracing.TRACER.reduce_max(shift_by, x, axis)
+    shift = x - shift_by
     exp = shift.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
@@ -83,6 +93,10 @@ def dropout(x, rate, rng, training=True):
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    if _tracing.TRACER is not None:
+        # Capture the RNG stream so a compiled replay draws the identical
+        # mask sequence this eager step would have drawn.
+        _tracing.TRACER.rng_mask(keep, rng, rate)
     return x * keep
 
 
@@ -96,7 +110,10 @@ def concat(tensors, axis=-1):
     def backward(g):
         return tuple(np.split(g, boundaries, axis=axis))
 
-    return Tensor._make(data, tuple(tensors), backward)
+    out = Tensor._make(data, tuple(tensors), backward)
+    if _tracing.TRACER is not None:
+        _tracing.TRACER.node(out, "concat", tuple(tensors), axis=axis)
+    return out
 
 
 def stack(tensors, axis=0):
@@ -107,7 +124,10 @@ def stack(tensors, axis=0):
     def backward(g):
         return tuple(np.moveaxis(g, axis, 0))
 
-    return Tensor._make(data, tuple(tensors), backward)
+    out = Tensor._make(data, tuple(tensors), backward)
+    if _tracing.TRACER is not None:
+        _tracing.TRACER.node(out, "stack", tuple(tensors), axis=axis)
+    return out
 
 
 def embedding(weight, indices):
@@ -137,7 +157,26 @@ def embedding(weight, indices):
     start = profiling.tick()
     out = weight.data[indices]
     profiling.tock("embedding.forward", start, out.nbytes)
-    return Tensor._make(out, (weight,), backward)
+    node = Tensor._make(out, (weight,), backward)
+    if _tracing.TRACER is not None:
+        _tracing.TRACER.node(node, "embedding", (weight,), indices=indices)
+    return node
+
+
+def fixed_gather(matrix, indices):
+    """Rows ``indices`` of a frozen (non-trainable) feature matrix.
+
+    Returns a graph *leaf*: ``matrix`` is plain numpy and receives no
+    gradient.  Compared to writing ``Tensor(matrix[indices])`` inline, this
+    helper reports the gather to the tracer, so a compiled replay re-gathers
+    with the current batch's ids instead of replaying a stale constant.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    indices = np.asarray(indices, dtype=np.int64)
+    out = Tensor(matrix[indices])
+    if _tracing.TRACER is not None:
+        _tracing.TRACER.fixed_gather(out.data, matrix, indices)
+    return out
 
 
 def linear(x, weight, bias=None):
@@ -207,7 +246,11 @@ def fused_dense(x, weight, bias=None, activation="linear"):
             return grad_x, grad_w
         return grad_x, grad_w, unbroadcast(gz, bias_t.shape)
 
-    return Tensor._make(out, parents, backward)
+    node = Tensor._make(out, parents, backward)
+    if _tracing.TRACER is not None:
+        _tracing.TRACER.node(node, "fused_dense", parents, activation=activation,
+                             saved_out=out)
+    return node
 
 
 def bce_with_logits(logits, labels, sample_weight=None):
@@ -269,7 +312,11 @@ def bce_with_logits(logits, labels, sample_weight=None):
         profiling.tock("loss.bce_fused_backward", start)
         return grads
 
-    return Tensor._make(np.asarray(out), parents, backward)
+    node = Tensor._make(np.asarray(out), parents, backward)
+    if _tracing.TRACER is not None:
+        _tracing.TRACER.node(node, "bce", parents, per_sample=per_sample,
+                             weighted=weighted, x=x, y=y)
+    return node
 
 
 def bce_with_logits_reference(logits, labels, sample_weight=None):

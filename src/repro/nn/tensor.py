@@ -21,6 +21,7 @@ from contextvars import ContextVar
 import numpy as np
 
 from ..tooling import sanitizer as _sanitizer
+from . import _tracing
 from .sparse import SparseGrad, accumulate_grad
 
 __all__ = [
@@ -261,28 +262,34 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other):
         other = as_tensor(other)
-        return Tensor._make(
+        out = Tensor._make(
             self.data + other.data,
             (self, other),
             lambda g: (unbroadcast(g, self.shape), unbroadcast(g, other.shape)),
         )
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "add", (self, other))
+        return out
 
     __radd__ = __add__
 
     def __sub__(self, other):
         other = as_tensor(other)
-        return Tensor._make(
+        out = Tensor._make(
             self.data - other.data,
             (self, other),
             lambda g: (unbroadcast(g, self.shape), unbroadcast(-g, other.shape)),
         )
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "sub", (self, other))
+        return out
 
     def __rsub__(self, other):
         return as_tensor(other) - self
 
     def __mul__(self, other):
         other = as_tensor(other)
-        return Tensor._make(
+        out = Tensor._make(
             self.data * other.data,
             (self, other),
             lambda g: (
@@ -290,12 +297,15 @@ class Tensor:
                 unbroadcast(g * self.data, other.shape),
             ),
         )
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "mul", (self, other))
+        return out
 
     __rmul__ = __mul__
 
     def __truediv__(self, other):
         other = as_tensor(other)
-        return Tensor._make(
+        out = Tensor._make(
             self.data / other.data,
             (self, other),
             lambda g: (
@@ -303,22 +313,31 @@ class Tensor:
                 unbroadcast(-g * self.data / (other.data ** 2), other.shape),
             ),
         )
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "div", (self, other))
+        return out
 
     def __rtruediv__(self, other):
         return as_tensor(other) / self
 
     def __neg__(self):
-        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+        out = Tensor._make(-self.data, (self,), lambda g: (-g,))
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "neg", (self,))
+        return out
 
     def __pow__(self, exponent):
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         data = self.data ** exponent
-        return Tensor._make(
+        out = Tensor._make(
             data,
             (self,),
             lambda g: (g * exponent * self.data ** (exponent - 1),),
         )
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "pow", (self,), exponent=exponent)
+        return out
 
     # ------------------------------------------------------------------
     # Matrix multiplication (supports batched operands, ndim >= 2)
@@ -333,42 +352,69 @@ class Tensor:
             grad_other = unbroadcast(np.matmul(np.swapaxes(self.data, -1, -2), g), other.shape)
             return grad_self, grad_other
 
-        return Tensor._make(np.matmul(self.data, other.data), (self, other), backward)
+        out = Tensor._make(np.matmul(self.data, other.data), (self, other), backward)
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "matmul", (self, other))
+        return out
 
     # ------------------------------------------------------------------
     # Nonlinearities used pervasively enough to be primitives
     # ------------------------------------------------------------------
     def exp(self):
         data = np.exp(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * data,))
+        out = Tensor._make(data, (self,), lambda g: (g * data,))
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "exp", (self,))
+        return out
 
     def log(self):
-        return Tensor._make(np.log(self.data), (self,), lambda g: (g / self.data,))
+        out = Tensor._make(np.log(self.data), (self,), lambda g: (g / self.data,))
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "log", (self,))
+        return out
 
     def sqrt(self):
         data = np.sqrt(self.data)
-        return Tensor._make(data, (self,), lambda g: (g / (2.0 * data),))
+        out = Tensor._make(data, (self,), lambda g: (g / (2.0 * data),))
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "sqrt", (self,))
+        return out
 
     def tanh(self):
         data = np.tanh(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * (1.0 - data ** 2),))
+        out = Tensor._make(data, (self,), lambda g: (g * (1.0 - data ** 2),))
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "tanh", (self,))
+        return out
 
     def sigmoid(self):
         data = _stable_sigmoid(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
+        out = Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "sigmoid", (self,))
+        return out
 
     def relu(self):
         mask = self.data > 0.0
-        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+        out = Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "relu", (self,), mask=mask)
+        return out
 
     def softplus(self):
         """Numerically stable log(1 + exp(x)); gradient is sigmoid(x)."""
         data = np.maximum(self.data, 0.0) + np.log1p(np.exp(-np.abs(self.data)))
-        return Tensor._make(data, (self,), lambda g: (g * _stable_sigmoid(self.data),))
+        out = Tensor._make(data, (self,), lambda g: (g * _stable_sigmoid(self.data),))
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "softplus", (self,))
+        return out
 
     def abs(self):
         sign = np.sign(self.data)
-        return Tensor._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+        out = Tensor._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "abs", (self,), sign=sign)
+        return out
 
     # ------------------------------------------------------------------
     # Reductions
@@ -382,7 +428,10 @@ class Tensor:
                 grad = np.expand_dims(grad, axis=axis)
             return (np.broadcast_to(grad, self.shape).copy(),)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "sum", (self,), axis=axis, keepdims=keepdims)
+        return out
 
     def mean(self, axis=None, keepdims=False):
         if axis is None:
@@ -402,11 +451,14 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original = self.shape
-        return Tensor._make(
+        out = Tensor._make(
             self.data.reshape(shape),
             (self,),
             lambda g: (g.reshape(original),),
         )
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "reshape", (self,), shape=shape)
+        return out
 
     def transpose(self, *axes):
         if not axes:
@@ -414,18 +466,24 @@ class Tensor:
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         inverse = np.argsort(axes)
-        return Tensor._make(
+        out = Tensor._make(
             self.data.transpose(axes),
             (self,),
             lambda g: (g.transpose(inverse),),
         )
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "transpose", (self,), axes=axes)
+        return out
 
     def swapaxes(self, axis_a, axis_b):
-        return Tensor._make(
+        out = Tensor._make(
             np.swapaxes(self.data, axis_a, axis_b),
             (self,),
             lambda g: (np.swapaxes(g, axis_a, axis_b),),
         )
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "swapaxes", (self,), axes=(axis_a, axis_b))
+        return out
 
     def __getitem__(self, index):
         data = self.data[index]
@@ -435,7 +493,10 @@ class Tensor:
             np.add.at(grad, index, g)
             return (grad,)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if _tracing.TRACER is not None:
+            _tracing.TRACER.node(out, "getitem", (self,), index=index)
+        return out
 
     # ------------------------------------------------------------------
     # Comparisons (return plain numpy, never differentiable)

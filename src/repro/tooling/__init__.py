@@ -14,6 +14,7 @@ See DESIGN.md §8 for the full write-up.
 
 from .sanitizer import (
     AnomalyError,
+    ReplayMismatchError,
     SanitizerError,
     VersionError,
     anomaly_enabled,
@@ -21,6 +22,8 @@ from .sanitizer import (
     densify_counts,
     enabled,
     graph_census,
+    replay_verify,
+    replay_verify_enabled,
     sanitize,
 )
 
@@ -28,8 +31,11 @@ __all__ = [
     "SanitizerError",
     "VersionError",
     "AnomalyError",
+    "ReplayMismatchError",
     "sanitize",
     "anomaly_mode",
+    "replay_verify",
+    "replay_verify_enabled",
     "enabled",
     "anomaly_enabled",
     "graph_census",

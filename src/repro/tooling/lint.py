@@ -25,6 +25,13 @@ them (stdlib ``ast`` only, no third-party dependencies):
     Every primitive registered in ``repro/nn/functional.py`` (a top-level
     function that calls ``Tensor._make``) must be referenced in
     ``tests/nn/test_gradcheck.py``.
+``eager-inner-loop``
+    No hand-rolled eager training step (``model.loss`` → ``backward`` →
+    ``optimizer.step``) in the driver layers (``repro/core/``,
+    ``repro/distributed/``) — steps must route through the compiled
+    executor (:func:`repro.nn.compile.active_executor`) so tracing,
+    replay verification and the vectorized engine see every step; the
+    two sanctioned eager fallbacks carry explicit waivers.
 
 A violation may be waived where the code is a sanctioned exception by
 putting ``# lint: allow[rule-name]`` on the flagged line or the line
@@ -383,6 +390,45 @@ class GradcheckCoverageRule(Rule):
         ]
 
 
+class EagerInnerLoopRule(Rule):
+    name = "eager-inner-loop"
+    description = (
+        "hand-rolled eager training steps (model.loss → backward → "
+        "optimizer.step) in repro/core or repro/distributed must route "
+        "through the compiled executor (repro.nn.compile) or carry an "
+        "explicit waiver on the sanctioned eager fallback"
+    )
+    scopes = ("repro/core/", "repro/distributed/")
+
+    @staticmethod
+    def _attr_calls(func_def, attr):
+        return [
+            node for node in ast.walk(func_def)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == attr
+        ]
+
+    def visit(self, path, tree):
+        violations = []
+        for func_def in ast.walk(tree):
+            if not isinstance(func_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._attr_calls(func_def, "backward"):
+                continue
+            if not self._attr_calls(func_def, "step"):
+                continue
+            for loss_call in self._attr_calls(func_def, "loss"):
+                violations.append(self._violation(
+                    path, loss_call,
+                    "eager inner training loop (loss → backward → "
+                    "optimizer.step) bypasses the compiled executor; route "
+                    "the step through repro.nn.compile (executor.step) or "
+                    "waive the sanctioned eager fallback",
+                ))
+        return violations
+
+
 def all_rules(gradcheck_tests=None):
     """Instantiate the full rule set."""
     return [
@@ -390,6 +436,7 @@ def all_rules(gradcheck_tests=None):
         DtypeDriftRule(),
         DataMutationRule(),
         DenseMaterializationRule(),
+        EagerInnerLoopRule(),
         GradcheckCoverageRule(gradcheck_tests=gradcheck_tests),
     ]
 

@@ -58,6 +58,9 @@ __all__ = [
     "graph_census",
     "densify_counts",
     "note_densify",
+    "ReplayMismatchError",
+    "replay_verify",
+    "replay_verify_enabled",
 ]
 
 # Module-level flags read directly (as attributes) by the engine's hot path.
@@ -65,6 +68,9 @@ __all__ = [
 _VERSION_CHECKS = False
 _ANOMALY = False
 _ACTIVE = False
+# Replay verification is deliberately NOT part of _ACTIVE: it checks the
+# *compiled* executor, so it must leave compiled execution enabled.
+_REPLAY_VERIFY = False
 
 
 class SanitizerError(RuntimeError):
@@ -79,6 +85,10 @@ class AnomalyError(SanitizerError):
     """An op produced NaN/Inf in its forward output or backward gradient."""
 
 
+class ReplayMismatchError(SanitizerError):
+    """A compiled tape replay diverged (bitwise) from eager execution."""
+
+
 def enabled():
     """Whether version-counter checking (``sanitize``) is active."""
     return _VERSION_CHECKS
@@ -89,9 +99,35 @@ def anomaly_enabled():
     return _ANOMALY
 
 
+def replay_verify_enabled():
+    """Whether compiled-replay bitwise verification is active."""
+    return _REPLAY_VERIFY
+
+
 def _refresh_active():
     global _ACTIVE
     _ACTIVE = _VERSION_CHECKS or _ANOMALY
+
+
+@contextlib.contextmanager
+def replay_verify(on=True):
+    """Verify every compiled tape replay **bitwise** against eager within.
+
+    Inside the context, each replayed training step is immediately re-run
+    eagerly on the same inputs (with the dropout RNG streams rewound) and
+    every primitive's forward buffer plus every leaf gradient is compared
+    for exact binary equality; the first divergence raises
+    :class:`ReplayMismatchError` naming the op.  Steps that were not
+    compiled (trace steps, eager fallbacks) are unaffected.  Orthogonal to
+    :func:`sanitize` / :func:`anomaly_mode`, which force eager execution.
+    """
+    global _REPLAY_VERIFY
+    previous = _REPLAY_VERIFY
+    _REPLAY_VERIFY = bool(on)
+    try:
+        yield
+    finally:
+        _REPLAY_VERIFY = previous
 
 
 @contextlib.contextmanager

@@ -35,6 +35,9 @@ __all__ = [
     "count",
     "observe",
     "percentile",
+    "tape_breakdown",
+    "render_tape_breakdown",
+    "step_speedup",
 ]
 
 # Stack of active profiles; every instrumented op reports to all of them so
@@ -196,6 +199,88 @@ def observe(name, value):
         return
     for prof in _STACK:
         prof.observe(name, value)
+
+
+# ----------------------------------------------------------------------
+# Compiled-vs-eager aggregation
+# ----------------------------------------------------------------------
+# The tape replay times every kernel under ``tape.fwd.<kind>`` /
+# ``tape.bwd.<kind>`` (plus ``optim.step``), so a profiled compiled run
+# reports where time goes *without* re-enabling eager Python dispatch.
+# The helpers below fold those flat counters into per-kind rows and
+# compare a compiled profile against an eager one.
+
+_TAPE_FWD = "tape.fwd."
+_TAPE_BWD = "tape.bwd."
+
+
+def tape_breakdown(prof):
+    """Per-kind replay timing aggregated from a profile's tape counters.
+
+    Returns ``{kind: {"fwd_calls", "bwd_calls", "fwd_seconds",
+    "bwd_seconds", "seconds", "share"}}`` where ``share`` is the kind's
+    fraction of all tape time (0.0 when no tape counters were recorded).
+    """
+    rows = {}
+    for name, stats in prof.ops.items():
+        if name.startswith(_TAPE_FWD):
+            kind, side = name[len(_TAPE_FWD):], "fwd"
+        elif name.startswith(_TAPE_BWD):
+            kind, side = name[len(_TAPE_BWD):], "bwd"
+        else:
+            continue
+        row = rows.setdefault(kind, {
+            "fwd_calls": 0, "bwd_calls": 0,
+            "fwd_seconds": 0.0, "bwd_seconds": 0.0,
+        })
+        row[f"{side}_calls"] += stats.calls
+        row[f"{side}_seconds"] += stats.seconds
+    total = sum(r["fwd_seconds"] + r["bwd_seconds"] for r in rows.values())
+    for row in rows.values():
+        row["seconds"] = row["fwd_seconds"] + row["bwd_seconds"]
+        row["share"] = row["seconds"] / total if total else 0.0
+    return dict(sorted(rows.items(), key=lambda kv: -kv[1]["seconds"]))
+
+
+def render_tape_breakdown(prof, title="Tape replay breakdown"):
+    """Human-readable per-kind table of a compiled run's replay time."""
+    from .tables import format_table
+
+    rows = [
+        [
+            kind,
+            str(row["fwd_calls"]),
+            f"{row['fwd_seconds'] * 1e3:.2f}",
+            f"{row['bwd_seconds'] * 1e3:.2f}",
+            f"{row['share'] * 100:.1f}%",
+        ]
+        for kind, row in tape_breakdown(prof).items()
+    ]
+    return format_table(
+        ["Kind", "Fwd calls", "Fwd ms", "Bwd ms", "Share"], rows, title=title
+    )
+
+
+def step_speedup(eager_prof, compiled_prof, name="train.step"):
+    """Compare mean ``name`` timings of an eager and a compiled profile.
+
+    Both profiles must have timed ``name`` (the training loops do);
+    returns mean seconds per step for each side, the speedup ratio and
+    the compiled side's per-kind replay breakdown.
+    """
+    eager = eager_prof.ops.get(name)
+    compiled = compiled_prof.ops.get(name)
+    if eager is None or compiled is None or not eager.calls or not compiled.calls:
+        raise KeyError(f"both profiles must record {name!r} timings")
+    eager_mean = eager.mean_seconds
+    compiled_mean = compiled.mean_seconds
+    return {
+        "op": name,
+        "eager_mean_seconds": eager_mean,
+        "compiled_mean_seconds": compiled_mean,
+        "speedup": eager_mean / compiled_mean if compiled_mean else float("inf"),
+        "breakdown": tape_breakdown(compiled_prof),
+    }
 
 
 def percentile(samples, q):

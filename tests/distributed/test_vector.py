@@ -1,0 +1,148 @@
+"""Lane-vectorized replay engine: bitwise parity with the sequential
+reference, and graceful bail-out to it.
+
+``vector_dn_round`` batches every worker of a bulk-synchronous DN round
+into one lane-parallel tape replay; ``vector_dr_rounds`` does the same
+for all DR target domains.  Both promise results **bit-for-bit equal**
+to the sequential in-process reference (same workers, same PS wire
+protocol, same RNG streams) — parity here is exact array equality, not
+allclose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig
+from repro.core.param_space import DomainParameterSpace
+from repro.data import DomainSpec, SyntheticConfig, generate_dataset
+from repro.distributed.parallel import _dr_targets
+from repro.distributed.vector import (
+    sync_dn_round_reference,
+    vector_dn_round,
+    vector_dr_rounds,
+)
+from repro.models import build_model
+from repro.utils import profiling
+from repro.utils.seeding import spawn_rng
+
+pytestmark = pytest.mark.compile_smoke
+
+
+def make_dataset(n_domains, feature_mode="fixed", seed=0):
+    specs = tuple(
+        DomainSpec(f"V{i}", 90, 0.25 + 0.05 * (i % 8)) for i in range(n_domains)
+    )
+    return generate_dataset(SyntheticConfig(
+        name="vector", domains=specs, n_users=120, n_items=80,
+        latent_dim=4, feature_mode=feature_mode, feature_dim=8, seed=seed,
+    ))
+
+
+def bail_count(prof):
+    record = prof.ops.get("vector.bail")
+    return record.calls if record else 0
+
+
+def assert_states_equal(reference, candidate):
+    assert set(reference) == set(candidate)
+    for name in reference:
+        assert np.array_equal(reference[name], candidate[name]), name
+
+
+class TestVectorDN:
+    def test_bitwise_parity_with_reference(self):
+        dataset = make_dataset(6)
+        config = TrainConfig(batch_size=8, inner_steps=3)
+        model = build_model("mlp", dataset, seed=0)
+        shared = model.state_dict()
+
+        with profiling.profile() as prof:
+            vec = vector_dn_round(model, dataset, shared, config,
+                                  spawn_rng(11, "dn"))
+        assert bail_count(prof) == 0, "vector DN unexpectedly bailed"
+        ref = sync_dn_round_reference(build_model("mlp", dataset, seed=0),
+                                      dataset, shared, config,
+                                      spawn_rng(11, "dn"))
+        assert_states_equal(ref, vec)
+
+    def test_model_state_and_rngs_restored(self):
+        """The round must not leak into the caller's model: parameters and
+        module RNG streams read as if the round never touched them."""
+        dataset = make_dataset(4)
+        config = TrainConfig(batch_size=8, inner_steps=2)
+        model = build_model("mlp", dataset, seed=0)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        shared = model.state_dict()
+        vector_dn_round(model, dataset, shared, config, spawn_rng(3, "dn"))
+        assert_states_equal(before, model.state_dict())
+
+    def test_lane_blocking_preserves_parity(self, monkeypatch):
+        """More lanes than the cache block: the round runs as several
+        block replays inside one sync barrier, still bit-for-bit."""
+        from repro.distributed import vector as vector_mod
+
+        monkeypatch.setattr(vector_mod, "_LANE_BLOCK", 2)
+        dataset = make_dataset(5)
+        config = TrainConfig(batch_size=8, inner_steps=2)
+        model = build_model("mlp", dataset, seed=0)
+        shared = model.state_dict()
+        with profiling.profile() as prof:
+            vec = vector_dn_round(model, dataset, shared, config,
+                                  spawn_rng(4, "dn"))
+        assert bail_count(prof) == 0
+        ref = sync_dn_round_reference(build_model("mlp", dataset, seed=0),
+                                      dataset, shared, config,
+                                      spawn_rng(4, "dn"))
+        assert_states_equal(ref, vec)
+
+    def test_embedding_model_falls_back_to_reference(self):
+        """Trainable-embedding models are outside the vector engine's
+        dense-only contract: the round must bail — counted in the profile —
+        and still return the exact reference result."""
+        dataset = make_dataset(4, feature_mode="trainable")
+        config = TrainConfig(batch_size=8, inner_steps=2)
+        model = build_model("mlp", dataset, seed=0)
+        shared = model.state_dict()
+
+        with profiling.profile() as prof:
+            out = vector_dn_round(model, dataset, shared, config,
+                                  spawn_rng(9, "dn"))
+        assert bail_count(prof) >= 1
+        ref = sync_dn_round_reference(build_model("mlp", dataset, seed=0),
+                                      dataset, shared, config,
+                                      spawn_rng(9, "dn"))
+        assert_states_equal(ref, out)
+
+
+class TestVectorDR:
+    def test_bitwise_parity_with_reference(self):
+        dataset = make_dataset(5)
+        config = TrainConfig(batch_size=8, sample_k=2, dr_steps=2)
+        model = build_model("mlp", dataset, seed=0)
+        space = DomainParameterSpace(model, dataset.n_domains)
+        for target in range(dataset.n_domains):
+            delta = space.delta(target)
+            for name in delta:
+                delta[name] += 0.01 * (target + 1)
+
+        with profiling.profile() as prof:
+            vec = vector_dr_rounds(model, dataset, space, config, seed=7)
+        assert bail_count(prof) == 0, "vector DR unexpectedly bailed"
+        ref = _dr_targets(build_model("mlp", dataset, seed=0), dataset,
+                          space, config, 7, list(range(dataset.n_domains)))
+        assert set(vec) == set(ref)
+        for target in ref:
+            assert_states_equal(ref[target], vec[target])
+
+    def test_zero_sample_k_returns_cloned_deltas(self):
+        dataset = make_dataset(3)
+        config = TrainConfig(batch_size=8, sample_k=0, dr_steps=2)
+        model = build_model("mlp", dataset, seed=0)
+        space = DomainParameterSpace(model, dataset.n_domains)
+        out = vector_dr_rounds(model, dataset, space, config, seed=1)
+        for target, delta in out.items():
+            assert_states_equal(space.delta(target), delta)
+            for name in delta:  # clones, not aliases
+                assert delta[name] is not space.delta(target)[name]

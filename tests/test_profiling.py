@@ -77,3 +77,45 @@ def test_runner_profiler_hook():
     assert report.mean_auc > 0.0
     assert prof.ops["train.step"].calls > 0
     assert prof.ops["embedding.backward.sparse"].calls > 0
+
+
+def test_tape_breakdown_aggregates_compiled_kernels():
+    from repro.models import build_model
+    from repro.nn import compiled_execution
+    from repro.nn.optim import make_optimizer
+    from repro.utils.seeding import spawn_rng
+    from repro.data.batching import iter_minibatches
+
+    dataset = make_tiny_dataset("fixed", n_domains=2, samples=(60, 40))
+    model = build_model("mlp", dataset, seed=0)
+    optimizer = make_optimizer("adam", model.parameters(), 0.05)
+    from repro.nn.compile import executor_for
+    executor = executor_for(model)
+    batches = list(iter_minibatches(
+        dataset.domains[0].train, 0, 8, rng=spawn_rng(0, "prof"),
+        max_batches=4,
+    ))
+    with compiled_execution(), profiling.profile() as compiled_prof:
+        for batch in batches:
+            start = profiling.tick()
+            executor.step(batch, optimizer)
+            profiling.tock("train.step", start)
+    breakdown = profiling.tape_breakdown(compiled_prof)
+    assert "fused_dense" in breakdown and "bce" in breakdown
+    # the traced first step runs eagerly; the replays time every kernel
+    assert breakdown["bce"]["fwd_calls"] >= len(batches) - 1
+    assert abs(sum(r["share"] for r in breakdown.values()) - 1.0) < 1e-9
+    rendered = profiling.render_tape_breakdown(compiled_prof)
+    assert "fused_dense" in rendered
+
+    with profiling.profile() as eager_prof:
+        for batch in batches:
+            start = profiling.tick()
+            loss = model.loss(batch)
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+            profiling.tock("train.step", start)
+    comparison = profiling.step_speedup(eager_prof, compiled_prof)
+    assert comparison["speedup"] > 0
+    assert comparison["breakdown"]

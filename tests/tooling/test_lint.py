@@ -166,6 +166,59 @@ class TestDenseMaterialization:
         assert lint_source(source, "src/repro/nn/sparse.py") == []
 
 
+class TestEagerInnerLoop:
+    EAGER_STEP = """
+        def train_epoch(model, batches, optimizer):
+            for batch in batches:
+                loss = model.loss(batch)
+                model.zero_grad()
+                loss.backward()
+                optimizer.step()
+    """
+
+    def test_flags_eager_step_in_core(self):
+        assert rules_fired(
+            self.EAGER_STEP, path="src/repro/core/foo.py"
+        ) == ["eager-inner-loop"]
+
+    def test_flags_eager_step_in_distributed(self):
+        assert rules_fired(
+            self.EAGER_STEP, path="src/repro/distributed/foo.py"
+        ) == ["eager-inner-loop"]
+
+    def test_out_of_scope_in_frameworks(self):
+        assert rules_fired(
+            self.EAGER_STEP, path="src/repro/frameworks/foo.py"
+        ) == []
+
+    def test_gradient_probe_without_step_is_fine(self):
+        assert rules_fired("""
+            def compute_loss_gradient(model, batch):
+                loss = model.loss(batch)
+                model.zero_grad()
+                loss.backward()
+                return loss.item()
+        """, path="src/repro/core/foo.py") == []
+
+    def test_executor_routed_step_is_fine(self):
+        assert rules_fired("""
+            def train_epoch(model, batches, optimizer, executor):
+                for batch in batches:
+                    executor.step(batch, optimizer)
+        """, path="src/repro/core/foo.py") == []
+
+    def test_waived_fallback(self):
+        source = textwrap.dedent("""
+            def train_epoch(model, batches, optimizer):
+                for batch in batches:
+                    # lint: allow[eager-inner-loop]
+                    loss = model.loss(batch)
+                    loss.backward()
+                    optimizer.step()
+        """)
+        assert lint_source(source, "src/repro/core/foo.py") == []
+
+
 class TestWaivers:
     def test_same_line_waiver(self):
         source = "dense = grad.to_dense()  # lint: allow[dense-grad-materialization]\n"
