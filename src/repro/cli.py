@@ -159,6 +159,15 @@ def build_parser():
                         help="benchmark journal path "
                              "(default: BENCH_online.json; '-' to skip)")
     online.add_argument("--verbose", action="store_true")
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="whole-program static analysis: certify compiled tapes and "
+             "audit the parallel runtime for nondeterminism "
+             "(delegates to repro.tooling.analyze)",
+        add_help=False,
+    )
+    analyze.add_argument("rest", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -276,6 +285,14 @@ def _run_online_sim(args):
 
 
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``analyze`` forwards its whole tail (options included) to the
+    # analyzer's own parser — argparse.REMAINDER cannot capture leading
+    # options, so dispatch before parsing.
+    if argv and argv[0] == "analyze":
+        from .tooling.analyze import main as analyze_main
+        return analyze_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.command == "list":
         print("experiments:", ", ".join(sorted(EXPERIMENT_RUNNERS)))
@@ -294,6 +311,9 @@ def main(argv=None):
         return _run_serve_bench(args)
     if args.command == "online-sim":
         return _run_online_sim(args)
+    if args.command == "analyze":
+        from .tooling.analyze import main as analyze_main
+        return analyze_main(args.rest)
     EXPERIMENT_RUNNERS[args.experiment](args)
     return 0
 

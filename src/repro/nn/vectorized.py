@@ -638,6 +638,13 @@ class VectorTape:
         self._lane_rngs = None
         if not tape._trace_records or not tape._backward_plan:
             raise VectorBail("tape carries no trace records")
+        certificate = getattr(tape, "certificate", None)
+        if certificate is not None and not certificate.certified:
+            # The static verifier found a shape/dtype/aliasing problem in
+            # the scalar tape; vectorizing it would only batch the bug.
+            raise VectorBail(
+                f"tape failed static certification: {certificate.bail_reason}"
+            )
 
         # -- lane-major parameter/gradient arenas ------------------------
         named = list(model.named_parameters())

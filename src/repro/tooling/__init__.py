@@ -1,15 +1,23 @@
-"""Correctness tooling: runtime autodiff sanitizer + repo-invariant linter.
+"""Correctness tooling: runtime sanitizer + whole-program static analysis.
 
-Two layers guard the fast paths introduced by the perf work (zero-copy
-views, in-place state algebra, sparse embedding gradients):
+Three layers guard the fast paths introduced by the perf work (zero-copy
+views, in-place state algebra, sparse embedding gradients, compiled tape
+replay):
 
 * :mod:`repro.tooling.sanitizer` — tensor version counters checked in
   ``backward()``, :func:`anomaly_mode` NaN/Inf localisation, and graph
   diagnostics (live-node census, SparseGrad densification counters).
-* :mod:`repro.tooling.lint` — a custom AST lint pass encoding repo
-  invariants, run as ``python -m repro.tooling.lint src/`` (wired into CI).
+* :mod:`repro.tooling.analyzer` — the static-analysis framework: the
+  tape IR verifier (abstract interpretation over compiled kernel tapes,
+  aliasing proofs, buffer-reuse planning) and the determinism/effect
+  auditor over the parallel runtime.  Driven by
+  ``python -m repro.tooling.analyze``.
+* :mod:`repro.tooling.lint` — the repo-invariant lint pass, rebuilt as
+  rule plugins over the analyzer's shared project index; run as
+  ``python -m repro.tooling.lint src/`` (wired into CI).
 
-See DESIGN.md §8 for the full write-up.
+See DESIGN.md §8 (sanitizer/lint) and §13 (static analysis) for the full
+write-ups.
 """
 
 from .sanitizer import (
@@ -24,6 +32,7 @@ from .sanitizer import (
     graph_census,
     replay_verify,
     replay_verify_enabled,
+    replay_verify_strict,
     sanitize,
 )
 
@@ -36,6 +45,7 @@ __all__ = [
     "anomaly_mode",
     "replay_verify",
     "replay_verify_enabled",
+    "replay_verify_strict",
     "enabled",
     "anomaly_enabled",
     "graph_census",
@@ -43,15 +53,35 @@ __all__ = [
     "all_rules",
     "lint_paths",
     "lint_source",
+    "Baseline",
+    "Finding",
+    "Report",
+    "UsageError",
+    "ProjectIndex",
+    "TapeCertificate",
+    "BufferPlan",
+    "certify",
+    "verify_tape",
+    "audit",
+    "audit_paths",
 ]
 
-# The lint entry points are imported lazily: eagerly importing ``.lint``
-# here would double-import it under ``python -m repro.tooling.lint``.
+# The lint/analyzer entry points are imported lazily: eagerly importing
+# ``.lint`` here would double-import it under ``python -m
+# repro.tooling.lint``, and the analyzer is only needed by tooling users.
 _LINT_EXPORTS = ("all_rules", "lint_paths", "lint_source")
+_ANALYZER_EXPORTS = (
+    "Baseline", "Finding", "Report", "UsageError", "ProjectIndex",
+    "TapeCertificate", "BufferPlan", "certify", "verify_tape",
+    "audit", "audit_paths",
+)
 
 
 def __getattr__(name):
     if name in _LINT_EXPORTS:
         from . import lint
         return getattr(lint, name)
+    if name in _ANALYZER_EXPORTS:
+        from . import analyzer
+        return getattr(analyzer, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,377 @@
+"""Shape/dtype lattice and per-primitive transfer functions.
+
+The tape verifier runs a forward abstract interpretation: every buffer is
+mapped to an :class:`AbstractValue` — a (shape, dtype) pair where either
+component may be ``TOP`` (statically unknown) — and each traced primitive
+has a *transfer function* computing the output's abstract value from its
+operands'.  The recorded output buffer is then checked against the
+abstract result; any disagreement is a verification finding (a shape the
+kernel cannot have produced, or a dtype drift away from the engine's
+float64 contract).
+
+The lattice is deliberately shallow: trace-time buffers are concrete, so
+values start fully known and only *lose* precision through transfer
+functions without an exact rule (``TOP`` propagates).  ``TOP`` compares
+equal to anything — an unknown component can never produce a finding,
+only reduced coverage (reported as ``imprecise`` per tape).
+
+Transfer functions mirror the kernel table in ``repro.nn.compile``; the
+kind names come from ``repro.nn._tracing``.  A kind without a transfer
+function is itself a finding (``tape-unknown-op``): the verifier and the
+kernel set must move in lockstep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TOP", "AbstractValue", "TransferError", "TRANSFER", "transfer"]
+
+
+class _Top:
+    """Statically unknown shape or dtype; equal to everything."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "TOP"
+
+
+TOP = _Top()
+
+
+class TransferError(Exception):
+    """The operand shapes/dtypes are inconsistent with the primitive."""
+
+
+class AbstractValue:
+    """One lattice element: shape and dtype, each concrete or TOP."""
+
+    __slots__ = ("shape", "dtype")
+
+    def __init__(self, shape, dtype):
+        self.shape = shape if shape is TOP else tuple(shape)
+        self.dtype = dtype if dtype is TOP else np.dtype(dtype)
+
+    @classmethod
+    def of(cls, array):
+        return cls(array.shape, array.dtype)
+
+    @classmethod
+    def top(cls):
+        return cls(TOP, TOP)
+
+    def matches(self, array):
+        """Whether a concrete buffer is admissible for this value."""
+        if self.shape is not TOP and tuple(array.shape) != self.shape:
+            return False
+        if self.dtype is not TOP and np.dtype(array.dtype) != self.dtype:
+            return False
+        return True
+
+    @property
+    def imprecise(self):
+        return self.shape is TOP or self.dtype is TOP
+
+    def __repr__(self):
+        return f"AbstractValue(shape={self.shape}, dtype={self.dtype})"
+
+
+def _shapes(values):
+    shapes = [v.shape for v in values]
+    if any(s is TOP for s in shapes):
+        return None
+    return shapes
+
+
+def _result_dtype(values):
+    dtypes = [v.dtype for v in values]
+    if any(d is TOP for d in dtypes):
+        return TOP
+    return np.result_type(*dtypes)
+
+
+def _broadcast(values):
+    shapes = _shapes(values)
+    if shapes is None:
+        return TOP
+    try:
+        return tuple(np.broadcast_shapes(*shapes))
+    except ValueError as error:
+        raise TransferError(f"operands do not broadcast: {error}") from None
+
+
+def _binary(values, aux):
+    return AbstractValue(_broadcast(values), _result_dtype(values))
+
+
+def _div(values, aux):
+    # True division promotes integer/bool operands to float64.
+    shape = _broadcast(values)
+    dtype = _result_dtype(values)
+    if dtype is not TOP and dtype.kind in "bui":
+        dtype = np.dtype(np.float64)
+    return AbstractValue(shape, dtype)
+
+
+def _unary_float(values, aux):
+    # Elementwise float math: shape preserved, dtype promoted to float64
+    # (the engine's only float dtype; integer inputs never reach these).
+    value = values[0]
+    dtype = TOP if value.dtype is TOP else np.result_type(value.dtype, np.float64)
+    return AbstractValue(value.shape, dtype)
+
+
+def _same(values, aux):
+    return AbstractValue(values[0].shape, values[0].dtype)
+
+
+def _pow(values, aux):
+    value = values[0]
+    if value.dtype is TOP:
+        dtype = TOP
+    else:
+        dtype = np.result_type(value.dtype, np.min_scalar_type(aux["exponent"]))
+    return AbstractValue(value.shape, dtype)
+
+
+def _matmul(values, aux):
+    a, b = values
+    dtype = _result_dtype(values)
+    if a.shape is TOP or b.shape is TOP:
+        return AbstractValue(TOP, dtype)
+    sa, sb = a.shape, b.shape
+    if len(sa) < 2 or len(sb) < 2:
+        # 1-D matmul has asymmetric prepend/append rules; stay imprecise
+        # rather than encode them (the engine only emits >=2-D matmuls).
+        return AbstractValue(TOP, dtype)
+    if sa[-1] != sb[-2]:
+        raise TransferError(
+            f"matmul contraction mismatch: {sa} @ {sb}"
+        )
+    try:
+        batch = np.broadcast_shapes(sa[:-2], sb[:-2])
+    except ValueError as error:
+        raise TransferError(f"matmul batch dims do not broadcast: {error}") from None
+    return AbstractValue(tuple(batch) + (sa[-2], sb[-1]), dtype)
+
+
+def _sum(values, aux):
+    value = values[0]
+    if value.shape is TOP:
+        return AbstractValue(TOP, value.dtype)
+    return AbstractValue(
+        _reduce_shape(value.shape, aux["axis"], aux["keepdims"]), value.dtype
+    )
+
+
+def _reduce_shape(shape, axis, keepdims):
+    ndim = len(shape)
+    if axis is None:
+        axes = set(range(ndim))
+    else:
+        axes = {axis} if np.isscalar(axis) else set(axis)
+        axes = {a + ndim if a < 0 else a for a in axes}
+        if any(a < 0 or a >= ndim for a in axes):
+            raise TransferError(f"reduction axis out of range for shape {shape}")
+    if keepdims:
+        return tuple(1 if i in axes else d for i, d in enumerate(shape))
+    return tuple(d for i, d in enumerate(shape) if i not in axes)
+
+
+def _reshape(values, aux):
+    value = values[0]
+    target = aux["shape"]
+    if not isinstance(target, tuple):
+        target = (target,) if np.isscalar(target) else tuple(target)
+    if value.shape is TOP:
+        return AbstractValue(TOP if -1 in target else target, value.dtype)
+    size = int(np.prod(value.shape, dtype=np.int64))
+    if -1 in target:
+        known = int(np.prod([d for d in target if d != -1], dtype=np.int64))
+        if known == 0 or size % known:
+            raise TransferError(f"cannot reshape {value.shape} into {target}")
+        target = tuple(size // known if d == -1 else d for d in target)
+    if int(np.prod(target, dtype=np.int64)) != size:
+        raise TransferError(f"cannot reshape {value.shape} into {target}")
+    return AbstractValue(target, value.dtype)
+
+
+def _transpose(values, aux):
+    value = values[0]
+    if value.shape is TOP:
+        return AbstractValue(TOP, value.dtype)
+    axes = aux["axes"]
+    if axes is None:
+        return AbstractValue(tuple(reversed(value.shape)), value.dtype)
+    if sorted(a % len(value.shape) for a in axes) != list(range(len(value.shape))):
+        raise TransferError(f"invalid transpose axes {axes} for {value.shape}")
+    return AbstractValue(
+        tuple(value.shape[a] for a in axes), value.dtype
+    )
+
+
+def _swapaxes(values, aux):
+    value = values[0]
+    if value.shape is TOP:
+        return AbstractValue(TOP, value.dtype)
+    a, b = aux["axes"]
+    shape = list(value.shape)
+    try:
+        shape[a], shape[b] = shape[b], shape[a]
+    except IndexError:
+        raise TransferError(
+            f"swapaxes({a}, {b}) out of range for {value.shape}"
+        ) from None
+    return AbstractValue(tuple(shape), value.dtype)
+
+
+def _getitem(values, aux):
+    value = values[0]
+    if value.shape is TOP:
+        return AbstractValue(TOP, value.dtype)
+    # Evaluate the index against a stride-0 dummy: basic and advanced
+    # indexing shape rules without touching (or allocating) real data.
+    dummy = np.broadcast_to(np.zeros(1, dtype=np.bool_), value.shape)
+    try:
+        shape = dummy[aux["index"]].shape
+    except (IndexError, TypeError, ValueError) as error:
+        raise TransferError(f"index invalid for shape {value.shape}: {error}") from None
+    return AbstractValue(shape, value.dtype)
+
+
+def _concat(values, aux):
+    shapes = _shapes(values)
+    dtype = _result_dtype(values)
+    if shapes is None:
+        return AbstractValue(TOP, dtype)
+    axis = aux["axis"] % len(shapes[0]) if shapes[0] else 0
+    first = shapes[0]
+    for shape in shapes[1:]:
+        if len(shape) != len(first) or any(
+            i != axis and shape[i] != first[i] for i in range(len(first))
+        ):
+            raise TransferError(f"concat shapes incompatible: {shapes}")
+    out = list(first)
+    out[axis] = sum(shape[axis] for shape in shapes)
+    return AbstractValue(tuple(out), dtype)
+
+
+def _stack(values, aux):
+    shapes = _shapes(values)
+    dtype = _result_dtype(values)
+    if shapes is None:
+        return AbstractValue(TOP, dtype)
+    if any(shape != shapes[0] for shape in shapes):
+        raise TransferError(f"stack shapes differ: {shapes}")
+    axis = aux["axis"] % (len(shapes[0]) + 1)
+    out = list(shapes[0])
+    out.insert(axis, len(shapes))
+    return AbstractValue(tuple(out), dtype)
+
+
+def _embedding(values, aux):
+    table = values[0]
+    indices = aux["indices"]
+    if not np.issubdtype(indices.dtype, np.integer):
+        raise TransferError(f"embedding indices are {indices.dtype}, not integer")
+    if table.shape is TOP:
+        return AbstractValue(TOP, table.dtype)
+    if len(table.shape) < 1:
+        raise TransferError("embedding table is 0-d")
+    return AbstractValue(
+        tuple(indices.shape) + tuple(table.shape[1:]), table.dtype
+    )
+
+
+def _fused_dense(values, aux):
+    x, w = values[0], values[1]
+    dtype = _result_dtype(values)
+    if x.shape is TOP or w.shape is TOP:
+        return AbstractValue(TOP, dtype)
+    if len(x.shape) != 2 or len(w.shape) != 2 or x.shape[1] != w.shape[0]:
+        raise TransferError(f"fused_dense shapes invalid: {x.shape} @ {w.shape}")
+    if len(values) == 3:
+        bias = values[2]
+        if bias.shape is not TOP and bias.shape not in ((w.shape[1],), (1,)):
+            raise TransferError(
+                f"fused_dense bias shape {bias.shape} does not broadcast "
+                f"over output width {w.shape[1]}"
+            )
+    return AbstractValue((x.shape[0], w.shape[1]), dtype)
+
+
+def _bce(values, aux):
+    x, y = values[0], values[1]
+    _broadcast([x, y])  # raises TransferError when incompatible
+    # The loss is a scalar mean; the engine stores it as a 0-d buffer.
+    return AbstractValue((), np.float64)
+
+
+def _rng_mask(values, aux):
+    return AbstractValue(aux["array"].shape, np.float64)
+
+
+def _reduce_max(values, aux):
+    source = values[0]
+    if source.shape is TOP:
+        return AbstractValue(TOP, source.dtype)
+    return AbstractValue(
+        _reduce_shape(source.shape, aux["axis"], True), source.dtype
+    )
+
+
+def _fixed_gather(values, aux):
+    matrix, indices = aux["matrix"], aux["indices"]
+    if not np.issubdtype(indices.dtype, np.integer):
+        raise TransferError(f"fixed_gather indices are {indices.dtype}, not integer")
+    return AbstractValue(
+        tuple(indices.shape) + tuple(matrix.shape[1:]), matrix.dtype
+    )
+
+
+TRANSFER = {
+    "add": _binary,
+    "sub": _binary,
+    "mul": _binary,
+    "div": _div,
+    "neg": _same,
+    "pow": _pow,
+    "matmul": _matmul,
+    "exp": _unary_float,
+    "log": _unary_float,
+    "sqrt": _unary_float,
+    "tanh": _unary_float,
+    "sigmoid": _unary_float,
+    "relu": _same,
+    "softplus": _unary_float,
+    "abs": _same,
+    "leaky_relu": _unary_float,
+    "sum": _sum,
+    "reshape": _reshape,
+    "transpose": _transpose,
+    "swapaxes": _swapaxes,
+    "getitem": _getitem,
+    "concat": _concat,
+    "stack": _stack,
+    "embedding": _embedding,
+    "fused_dense": _fused_dense,
+    "bce": _bce,
+    "rng_mask": _rng_mask,
+    "reduce_max": _reduce_max,
+    "fixed_gather": _fixed_gather,
+}
+
+
+def transfer(kind, values, aux):
+    """Abstract result of primitive ``kind`` over operand ``values``.
+
+    Raises ``KeyError`` for an unknown kind and :class:`TransferError` for
+    operand values the primitive cannot accept.
+    """
+    return TRANSFER[kind](values, aux)

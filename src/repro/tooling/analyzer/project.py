@@ -1,0 +1,248 @@
+"""Project index: one parse per file, shared by every AST front end.
+
+The pre-rebuild linter re-parsed and re-walked files per rule and had no
+notion of the *program* — only of files.  The index gives passes a shared
+view:
+
+* every ``.py`` file parsed exactly once (``FileEntry`` keeps the tree
+  *and* the source lines, so waiver scanning needs no second read);
+* a module table keyed by dotted module name (derived from the path's
+  ``repro/...`` suffix) with each module's top-level functions, classes,
+  methods and assignments;
+* import resolution between indexed modules (``from .x import y``,
+  ``from repro.a import b``, ``import repro.a.b as c``), which is what
+  lets the effect auditor chase a call from ``parallel.py`` into
+  ``worker.py`` without guessing.
+
+The index is deliberately syntactic — no execution, no type inference.
+Name resolution is best-effort: a miss returns ``None`` and the caller
+stays conservative.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .framework import Finding
+
+__all__ = ["FileEntry", "FunctionInfo", "ProjectIndex"]
+
+
+def _posix(path):
+    text = str(path).replace("\\", "/")
+    # Store repo-relative paths so finding fingerprints (and therefore
+    # the committed baseline) do not depend on the invocation directory.
+    anchor = text.find("src/repro/")
+    if anchor > 0:
+        text = text[anchor:]
+    return text
+
+
+def module_name_for(posix_path):
+    """Dotted module name from a path (``.../repro/online/gate.py`` →
+    ``repro.online.gate``); falls back to the stem outside ``repro/``."""
+    parts = posix_path.split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    name = ".".join(parts)
+    if name.endswith(".py"):
+        name = name[:-3]
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+class FunctionInfo:
+    """One function or method: its AST, qualname and enclosing module."""
+
+    __slots__ = ("module", "qualname", "node", "entry")
+
+    def __init__(self, module, qualname, node, entry):
+        self.module = module
+        self.qualname = qualname
+        self.node = node
+        self.entry = entry
+
+    @property
+    def name(self):
+        return self.node.name
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"FunctionInfo({self.module}.{self.qualname})"
+
+
+class FileEntry:
+    """One parsed source file."""
+
+    __slots__ = ("path", "posix", "module", "tree", "lines", "source")
+
+    def __init__(self, path, source, tree):
+        self.path = path
+        self.posix = _posix(path)
+        self.module = module_name_for(self.posix)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+
+
+class ProjectIndex:
+    """Parsed files + cross-file symbol table for a set of paths."""
+
+    def __init__(self):
+        self.entries = {}        # posix path -> FileEntry
+        self.modules = {}        # dotted module name -> FileEntry
+        self.functions = {}      # (module, qualname) -> FunctionInfo
+        self.imports = {}        # module -> {local name: dotted target}
+        self.module_globals = {} # module -> set of top-level assigned names
+        self.parse_failures = [] # Finding objects for unparsable files
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(cls, paths):
+        index = cls()
+        for path in _collect_files(paths):
+            index.add_file(path)
+        return index
+
+    @classmethod
+    def from_sources(cls, sources):
+        """Index in-memory ``{path: source}`` mappings (test entry point)."""
+        index = cls()
+        for path, source in sources.items():
+            index.add_source(path, source)
+        return index
+
+    def add_file(self, path):
+        try:
+            source = Path(path).read_text()
+        except OSError as error:
+            self.parse_failures.append(Finding(
+                frontend="index", rule="read-error", path=_posix(path),
+                message=str(error),
+            ))
+            return None
+        return self.add_source(path, source)
+
+    def add_source(self, path, source):
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            self.parse_failures.append(Finding(
+                frontend="index", rule="parse-error", path=_posix(path),
+                line=error.lineno or 1, message=str(error),
+            ))
+            return None
+        entry = FileEntry(path, source, tree)
+        self.entries[entry.posix] = entry
+        self.modules[entry.module] = entry
+        self._index_symbols(entry)
+        return entry
+
+    def _index_symbols(self, entry):
+        imports = self.imports.setdefault(entry.module, {})
+        toplevel = self.module_globals.setdefault(entry.module, set())
+        package = entry.module.rsplit(".", 1)[0] if "." in entry.module else ""
+        for node in entry.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._register_function(entry, node, node.name)
+            elif isinstance(node, ast.ClassDef):
+                toplevel.add(node.name)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._register_function(
+                            entry, item, f"{node.name}.{item.name}"
+                        )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        imports[alias.asname] = alias.name
+                    else:
+                        # ``import a.b.c`` binds only ``a`` in the namespace.
+                        root = alias.name.split(".", 1)[0]
+                        imports[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                target = self._resolve_from(node, package)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports[local] = f"{target}.{alias.name}" if target else alias.name
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name):
+                            toplevel.add(leaf.id)
+
+    @staticmethod
+    def _resolve_from(node, package):
+        if node.level == 0:
+            return node.module or ""
+        # Relative import: peel ``level`` components off the package.
+        parts = package.split(".") if package else []
+        parts = parts[: len(parts) - (node.level - 1)] if node.level > 1 else parts
+        base = ".".join(parts)
+        if node.module:
+            return f"{base}.{node.module}" if base else node.module
+        return base
+
+    def _register_function(self, entry, node, qualname):
+        info = FunctionInfo(entry.module, qualname, node, entry)
+        self.functions[(entry.module, qualname)] = info
+        self.module_globals.setdefault(entry.module, set()).add(
+            qualname.split(".", 1)[0]
+        )
+
+    # -- queries --------------------------------------------------------
+    def files(self):
+        return list(self.entries.values())
+
+    def iter_functions(self):
+        return list(self.functions.values())
+
+    def function(self, module, qualname):
+        return self.functions.get((module, qualname))
+
+    def resolve_call(self, caller, func_node):
+        """Best-effort resolution of a call expression to a FunctionInfo.
+
+        Handles ``name(...)`` (same module, or imported function),
+        ``module.name(...)`` via the import table, and ``self.method(...)``
+        within the caller's class.  Returns ``None`` when the target is not
+        an indexed function.
+        """
+        if isinstance(func_node, ast.Name):
+            name = func_node.id
+            info = self.functions.get((caller.module, name))
+            if info is not None:
+                return info
+            target = self.imports.get(caller.module, {}).get(name)
+            if target and "." in target:
+                mod, _, attr = target.rpartition(".")
+                return self.functions.get((mod, attr))
+            return None
+        if isinstance(func_node, ast.Attribute):
+            attr = func_node.attr
+            base = func_node.value
+            if isinstance(base, ast.Name):
+                if base.id == "self" and "." in caller.qualname:
+                    klass = caller.qualname.split(".", 1)[0]
+                    return self.functions.get((caller.module, f"{klass}.{attr}"))
+                target = self.imports.get(caller.module, {}).get(base.id)
+                if target:
+                    return self.functions.get((target, attr))
+        return None
+
+
+def _collect_files(paths):
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files

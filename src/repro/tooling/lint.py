@@ -32,33 +32,66 @@ them (stdlib ``ast`` only, no third-party dependencies):
     executor (:func:`repro.nn.compile.active_executor`) so tracing,
     replay verification and the vectorized engine see every step; the
     two sanctioned eager fallbacks carry explicit waivers.
+``stale-waiver``
+    Every ``# lint: allow[rule]`` comment must still suppress at least
+    one violation; waivers that outlive the code they excused are
+    reported with the exact line to delete (project runs only — single
+    snippets via :func:`lint_source` are not checked).
 
 A violation may be waived where the code is a sanctioned exception by
 putting ``# lint: allow[rule-name]`` on the flagged line or the line
 directly above it.
 
+The pass runs on the shared :class:`repro.tooling.analyzer.ProjectIndex`
+(one parse per file, reused by every rule and by the other analyzer
+front ends); rules are plugins registered with :func:`register`.  Exit
+codes follow the analyzer contract: ``0`` clean, ``1`` findings, ``2``
+usage/IO error.
+
 Run::
 
     PYTHONPATH=src python -m repro.tooling.lint src/
     PYTHONPATH=src python -m repro.tooling.lint --list-rules
+    PYTHONPATH=src python -m repro.tooling.lint src/ --json report.json
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import io
+import re
 import sys
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
+
+from .analyzer.framework import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    Baseline,
+    Finding,
+    Report,
+    UsageError,
+)
+from .analyzer.project import ProjectIndex, _posix
 
 __all__ = [
     "Violation",
     "Rule",
+    "register",
     "all_rules",
     "lint_source",
     "lint_paths",
     "main",
 ]
+
+FRONTEND = "lint"
+
+#: the exact comment syntax ``_waived`` honours; anything else (wrong
+#: spacing, typo'd rule) never suppresses and is caught as stale.
+_WAIVER_RE = re.compile(r"lint: allow\[([^\]\s]+)\]")
 
 
 @dataclass(frozen=True)
@@ -72,6 +105,12 @@ class Violation:
     def render(self):
         return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
 
+    def to_finding(self):
+        return Finding(
+            frontend=FRONTEND, rule=self.rule, path=self.path,
+            message=self.message, line=self.line, col=self.col,
+        )
+
 
 def _dotted(node):
     """Flatten an ``ast.Attribute``/``ast.Name`` chain to ``a.b.c`` or None."""
@@ -83,10 +122,6 @@ def _dotted(node):
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
-
-
-def _posix(path):
-    return str(path).replace("\\", "/")
 
 
 class Rule:
@@ -125,6 +160,17 @@ class Rule:
         )
 
 
+#: plugin registry: rule classes in registration order.
+RULE_REGISTRY = []
+
+
+def register(rule_class):
+    """Class decorator adding a rule to the default rule set."""
+    RULE_REGISTRY.append(rule_class)
+    return rule_class
+
+
+@register
 class RawRandomRule(Rule):
     name = "raw-random"
     description = (
@@ -181,6 +227,7 @@ class RawRandomRule(Rule):
         return violations
 
 
+@register
 class DtypeDriftRule(Rule):
     name = "dtype-drift"
     description = (
@@ -232,6 +279,7 @@ class DtypeDriftRule(Rule):
         return violations
 
 
+@register
 class DataMutationRule(Rule):
     name = "data-mutation"
     description = (
@@ -274,6 +322,7 @@ class DataMutationRule(Rule):
         return violations
 
 
+@register
 class DenseMaterializationRule(Rule):
     name = "dense-grad-materialization"
     description = (
@@ -311,6 +360,47 @@ class DenseMaterializationRule(Rule):
         return violations
 
 
+@register
+class EagerInnerLoopRule(Rule):
+    name = "eager-inner-loop"
+    description = (
+        "hand-rolled eager training steps (model.loss → backward → "
+        "optimizer.step) in repro/core or repro/distributed must route "
+        "through the compiled executor (repro.nn.compile) or carry an "
+        "explicit waiver on the sanctioned eager fallback"
+    )
+    scopes = ("repro/core/", "repro/distributed/")
+
+    @staticmethod
+    def _attr_calls(func_def, attr):
+        return [
+            node for node in ast.walk(func_def)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == attr
+        ]
+
+    def visit(self, path, tree):
+        violations = []
+        for func_def in ast.walk(tree):
+            if not isinstance(func_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._attr_calls(func_def, "backward"):
+                continue
+            if not self._attr_calls(func_def, "step"):
+                continue
+            for loss_call in self._attr_calls(func_def, "loss"):
+                violations.append(self._violation(
+                    path, loss_call,
+                    "eager inner training loop (loss → backward → "
+                    "optimizer.step) bypasses the compiled executor; route "
+                    "the step through repro.nn.compile (executor.step) or "
+                    "waive the sanctioned eager fallback",
+                ))
+        return violations
+
+
+@register
 class GradcheckCoverageRule(Rule):
     name = "gradcheck-coverage"
     description = (
@@ -390,55 +480,31 @@ class GradcheckCoverageRule(Rule):
         ]
 
 
-class EagerInnerLoopRule(Rule):
-    name = "eager-inner-loop"
-    description = (
-        "hand-rolled eager training steps (model.loss → backward → "
-        "optimizer.step) in repro/core or repro/distributed must route "
-        "through the compiled executor (repro.nn.compile) or carry an "
-        "explicit waiver on the sanctioned eager fallback"
-    )
-    scopes = ("repro/core/", "repro/distributed/")
-
-    @staticmethod
-    def _attr_calls(func_def, attr):
-        return [
-            node for node in ast.walk(func_def)
-            if isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == attr
-        ]
-
-    def visit(self, path, tree):
-        violations = []
-        for func_def in ast.walk(tree):
-            if not isinstance(func_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            if not self._attr_calls(func_def, "backward"):
-                continue
-            if not self._attr_calls(func_def, "step"):
-                continue
-            for loss_call in self._attr_calls(func_def, "loss"):
-                violations.append(self._violation(
-                    path, loss_call,
-                    "eager inner training loop (loss → backward → "
-                    "optimizer.step) bypasses the compiled executor; route "
-                    "the step through repro.nn.compile (executor.step) or "
-                    "waive the sanctioned eager fallback",
-                ))
-        return violations
-
-
 def all_rules(gradcheck_tests=None):
-    """Instantiate the full rule set."""
-    return [
-        RawRandomRule(),
-        DtypeDriftRule(),
-        DataMutationRule(),
-        DenseMaterializationRule(),
-        EagerInnerLoopRule(),
-        GradcheckCoverageRule(gradcheck_tests=gradcheck_tests),
-    ]
+    """Instantiate the full registered rule set."""
+    rules = []
+    for rule_class in RULE_REGISTRY:
+        if rule_class is GradcheckCoverageRule:
+            rules.append(rule_class(gradcheck_tests=gradcheck_tests))
+        else:
+            rules.append(rule_class())
+    return rules
+
+
+#: rule names that are not Rule plugins but can appear in reports and be
+#: selected/ignored: the index's parse failures and the waiver auditor.
+BUILTIN_RULES = {
+    "parse-error": "file does not parse; nothing else can be checked",
+    "stale-waiver": (
+        "a '# lint: allow[rule]' comment that suppresses no violation; "
+        "delete the comment (or fix the rule name/spacing if it was "
+        "meant to suppress one)"
+    ),
+}
+
+
+def known_rule_names(gradcheck_tests=None):
+    return {rule.name for rule in all_rules(gradcheck_tests)} | set(BUILTIN_RULES)
 
 
 def _waived(violation, lines):
@@ -449,19 +515,81 @@ def _waived(violation, lines):
     return False
 
 
-def _collect_files(paths):
-    files = []
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py":
-            files.append(path)
-    return files
+def _waiver_declarations(entry):
+    """All ``(line, rule)`` waiver comments in one file.
+
+    Tokenized, not grepped: only real ``#`` comments declare waivers, so
+    docstrings *describing* the syntax (like this module's) don't count.
+    """
+    found = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(entry.source).readline)
+        comments = [
+            (token.start[0], token.string) for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover - parsed ok
+        return found
+    for lineno, text in comments:
+        for match in _WAIVER_RE.finditer(text):
+            if "{" not in match.group(1):
+                found.append((lineno, match.group(1)))
+    return found
+
+
+def _filter_waived(violations, index, used):
+    """Drop waived violations, recording which waiver lines fired."""
+    kept = []
+    for violation in violations:
+        entry = index.entries.get(violation.path)
+        lines = entry.lines if entry is not None else ()
+        tag = f"lint: allow[{violation.rule}]"
+        waiving_line = None
+        for lineno in (violation.line, violation.line - 1):
+            if 1 <= lineno <= len(lines) and tag in lines[lineno - 1]:
+                waiving_line = lineno
+                break
+        if waiving_line is None:
+            kept.append(violation)
+        else:
+            used.add((violation.path, waiving_line, violation.rule))
+    return kept
+
+
+def _stale_waivers(index, used, active_rules, select):
+    """Waiver comments that suppressed nothing in this run.
+
+    Only waivers for rules that actually ran are judged — under
+    ``--select`` a waiver for an unselected rule had no chance to fire.
+    Waivers naming a rule that does not exist at all are always stale on a
+    full run (they can never suppress anything).
+    """
+    stale = []
+    for entry in index.entries.values():
+        for lineno, rule in _waiver_declarations(entry):
+            if select is not None and rule not in select:
+                continue
+            if select is None and rule not in active_rules \
+                    and rule in known_rule_names():
+                continue
+            if (entry.posix, lineno, rule) in used:
+                continue
+            stale.append(Violation(
+                path=entry.posix, line=lineno, col=0, rule="stale-waiver",
+                message=(
+                    f"waiver 'lint: allow[{rule}]' suppresses nothing; "
+                    f"delete the comment on line {lineno}"
+                ),
+            ))
+    return stale
 
 
 def lint_source(source, path="fixture.py", rules=None):
-    """Lint a source string (unit-test entry point; per-file rules only)."""
+    """Lint a source string (unit-test entry point; per-file rules only).
+
+    Stale-waiver auditing is deliberately skipped here: a snippet has no
+    project context, so an unused waiver in a fixture is not an error.
+    """
     rules = rules if rules is not None else all_rules()
     tree = ast.parse(source, filename=str(path))
     lines = source.splitlines()
@@ -473,38 +601,85 @@ def lint_source(source, path="fixture.py", rules=None):
     return [v for v in violations if not _waived(v, lines)]
 
 
-def lint_paths(paths, select=None, gradcheck_tests=None):
-    """Lint files/directories; returns (violations, files_checked)."""
+def _rules_for(select, ignore, gradcheck_tests):
     rules = all_rules(gradcheck_tests=gradcheck_tests)
     if select:
         rules = [rule for rule in rules if rule.name in select]
-    violations = []
-    parsed = {}
-    sources = {}
-    for path in _collect_files(paths):
-        try:
-            source = path.read_text()
-            tree = ast.parse(source, filename=str(path))
-        except (OSError, SyntaxError) as error:
-            violations.append(Violation(
-                path=_posix(path), line=getattr(error, "lineno", 1) or 1,
-                col=0, rule="parse-error", message=str(error),
-            ))
-            continue
-        parsed[path] = tree
-        sources[_posix(path)] = source.splitlines()
-        posix = _posix(path)
-        for rule in rules:
-            if rule.applies_to(posix):
-                violations.extend(rule.visit(path, tree))
-    for rule in rules:
-        violations.extend(rule.finalize(parsed))
+    if ignore:
+        rules = [rule for rule in rules if rule.name not in ignore]
+    return rules
+
+
+def lint_paths(paths, select=None, ignore=None, gradcheck_tests=None,
+               index=None):
+    """Lint files/directories; returns (violations, files_checked).
+
+    Builds (or reuses, via ``index``) a shared :class:`ProjectIndex` —
+    one parse per file for every rule — then runs per-file rules, the
+    cross-file ``finalize`` passes, waiver filtering, and the
+    stale-waiver audit over the waivers the run could have used.
+    """
+    rules = _rules_for(select, ignore, gradcheck_tests)
+    if index is None:
+        index = ProjectIndex.build(paths)
     violations = [
-        v for v in violations
-        if not _waived(v, sources.get(v.path, ()))
+        Violation(path=f.path, line=f.line or 1, col=f.col, rule=f.rule,
+                  message=f.message)
+        for f in index.parse_failures
     ]
+    # Rules receive the real filesystem path (``finalize`` passes resolve
+    # sibling files from it); the violations they emit carry the
+    # ``_posix``-normalized path, matching the index keys.
+    for entry in index.files():
+        for rule in rules:
+            if rule.applies_to(entry.posix):
+                violations.extend(rule.visit(entry.path, entry.tree))
+    files = {entry.path: entry.tree for entry in index.files()}
+    for rule in rules:
+        violations.extend(rule.finalize(files))
+
+    used = set()
+    violations = _filter_waived(violations, index, used)
+    stale_active = "stale-waiver" not in (ignore or ()) and (
+        select is None or "stale-waiver" in select
+    )
+    if stale_active:
+        active_rules = {rule.name for rule in rules}
+        stale = _stale_waivers(index, used, active_rules, select)
+        violations.extend(_filter_waived(stale, index, set()))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
-    return violations, len(parsed)
+    return violations, len(index.entries)
+
+
+def _parse_rule_set(raw, gradcheck_tests=None):
+    if not raw:
+        return None
+    names = {name.strip() for name in raw.split(",") if name.strip()}
+    unknown = names - known_rule_names(gradcheck_tests)
+    if unknown:
+        raise UsageError(
+            f"unknown rule name(s): {', '.join(sorted(unknown))} "
+            "(see --list-rules)"
+        )
+    return names
+
+
+def _check_paths(paths):
+    for raw in paths:
+        if not Path(raw).exists():
+            raise UsageError(f"no such file or directory: {raw}")
+
+
+def _build_report(violations, files_checked, rules):
+    report = Report()
+    report.extend([v.to_finding() for v in violations])
+    report.note(
+        FRONTEND,
+        files_checked=files_checked,
+        rules=sorted(rule.name for rule in rules),
+        violations=len(violations),
+    )
+    return report
 
 
 def main(argv=None):
@@ -521,8 +696,24 @@ def main(argv=None):
         help="comma-separated rule names to run (default: all)",
     )
     parser.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
         "--gradcheck-tests", default=None,
         help="explicit path to tests/nn/test_gradcheck.py",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write a machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed findings baseline; fail only on new findings",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write the current findings as the new baseline and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
@@ -532,23 +723,50 @@ def main(argv=None):
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.name}: {rule.description}")
-        return 0
+        for name, description in sorted(BUILTIN_RULES.items()):
+            print(f"{name}: {description}")
+        return EXIT_CLEAN
 
-    select = (
-        {name.strip() for name in args.select.split(",") if name.strip()}
-        if args.select else None
-    )
-    violations, files_checked = lint_paths(
-        args.paths, select=select, gradcheck_tests=args.gradcheck_tests
-    )
+    try:
+        _check_paths(args.paths)
+        select = _parse_rule_set(args.select, args.gradcheck_tests)
+        ignore = _parse_rule_set(args.ignore, args.gradcheck_tests)
+        baseline = Baseline.load(args.baseline) if args.baseline else None
+        violations, files_checked = lint_paths(
+            args.paths, select=select, ignore=ignore,
+            gradcheck_tests=args.gradcheck_tests,
+        )
+    except UsageError as error:
+        print(f"repro.tooling.lint: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    rules = _rules_for(select, ignore, args.gradcheck_tests)
+    report = _build_report(violations, files_checked, rules)
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(args.write_baseline)
+        print(
+            f"repro.tooling.lint: wrote baseline with "
+            f"{len(report.findings)} finding(s) to {args.write_baseline}"
+        )
+        return EXIT_CLEAN
+    new, known = report.finalize(baseline)
+    if args.json:
+        report.write_json(args.json, baseline)
+
     for violation in violations:
         print(violation.render())
-    status = "FAILED" if violations else "ok"
+    stale = [v for v in violations if v.rule == "stale-waiver"]
+    if stale:
+        print("\nstale waivers — delete these comments:")
+        for violation in stale:
+            print(f"  {violation.path}:{violation.line}")
+    status = "FAILED" if new else "ok"
+    suffix = f" ({len(known)} baselined)" if known else ""
     print(
         f"repro.tooling.lint: {files_checked} files checked, "
-        f"{len(violations)} violation(s) — {status}"
+        f"{len(violations)} violation(s){suffix} — {status}"
     )
-    return 1 if violations else 0
+    return EXIT_FINDINGS if new else EXIT_CLEAN
 
 
 if __name__ == "__main__":

@@ -1,0 +1,204 @@
+"""Unit tests for the analyzer's shared framework: findings, baselines,
+reports, and the cross-file project index."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.tooling.analyzer import (
+    Baseline,
+    Finding,
+    ProjectIndex,
+    Report,
+    UsageError,
+)
+
+pytestmark = pytest.mark.analyzer
+
+
+def finding(**overrides):
+    base = dict(
+        frontend="effects", rule="wall-clock", path="src/repro/online/sim.py",
+        message="reads the wall clock", line=10, col=4, symbol="run",
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestFinding:
+    def test_fingerprint_survives_line_drift(self):
+        assert finding(line=10).fingerprint() == finding(line=999).fingerprint()
+        assert finding(col=4).fingerprint() == finding(col=0).fingerprint()
+
+    def test_fingerprint_distinguishes_content(self):
+        assert finding().fingerprint() != finding(rule="unseeded-rng").fingerprint()
+        assert finding().fingerprint() != finding(symbol="other").fingerprint()
+
+    def test_round_trips_through_dict(self):
+        original = finding()
+        assert Finding.from_dict(original.to_dict()) == original
+
+    def test_render_names_frontend_and_rule(self):
+        text = finding().render()
+        assert "effects/wall-clock" in text
+        assert "src/repro/online/sim.py:10" in text
+
+
+class TestBaseline:
+    def test_split_partitions_new_and_known(self):
+        baseline = Baseline.from_findings([finding()])
+        new, known = baseline.split([finding(line=123), finding(rule="other")])
+        assert [f.rule for f in known] == ["wall-clock"]
+        assert [f.rule for f in new] == ["other"]
+
+    def test_duplicate_fingerprints_collapse(self):
+        baseline = Baseline.from_findings([finding(line=1), finding(line=2)])
+        assert len(baseline.entries) == 1
+
+    def test_stale_entries(self):
+        baseline = Baseline.from_findings([finding(), finding(rule="gone")])
+        stale = baseline.stale_entries([finding()])
+        assert [e["rule"] for e in stale] == ["gone"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([finding()]).save(path)
+        loaded = Baseline.load(path)
+        assert finding(line=55) in loaded
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        with pytest.raises(UsageError):
+            Baseline.load(tmp_path / "nope.json")
+
+    def test_malformed_file_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"entries\": [{\"no_fingerprint\": true}]}")
+        with pytest.raises(UsageError):
+            Baseline.load(bad)
+        bad.write_text("not json")
+        with pytest.raises(UsageError):
+            Baseline.load(bad)
+
+
+class TestReport:
+    def test_summary_counts_against_baseline(self, tmp_path):
+        report = Report()
+        report.extend([finding(), finding(rule="fresh")])
+        report.note("effects", functions=2)
+        baseline = Baseline.from_findings([finding()])
+        payload = report.to_dict(baseline)
+        assert payload["summary"] == {"total": 2, "new": 1, "baselined": 1}
+        assert payload["frontends"]["effects"]["functions"] == 2
+        out = tmp_path / "report.json"
+        report.write_json(out, baseline)
+        assert json.loads(out.read_text())["summary"]["new"] == 1
+
+
+def make_index(**sources):
+    return ProjectIndex.from_sources({
+        path: textwrap.dedent(source) for path, source in sources.items()
+    })
+
+
+class TestProjectIndex:
+    def test_one_entry_per_file_with_module_names(self):
+        index = make_index(**{
+            "src/repro/online/gate.py": "def check():\n    pass\n",
+            "src/repro/distributed/worker.py": "def run():\n    pass\n",
+        })
+        assert set(index.modules) == {
+            "repro.online.gate", "repro.distributed.worker",
+        }
+        assert index.function("repro.online.gate", "check") is not None
+
+    def test_methods_get_class_qualnames(self):
+        index = make_index(**{
+            "src/repro/online/gate.py": """
+                class Gate:
+                    def check(self):
+                        pass
+            """,
+        })
+        assert index.function("repro.online.gate", "Gate.check") is not None
+
+    def test_parse_failure_is_a_finding_not_a_crash(self):
+        index = make_index(**{"src/repro/online/bad.py": "def oops(:\n"})
+        assert [f.rule for f in index.parse_failures] == ["parse-error"]
+        assert "src/repro/online/bad.py" not in index.entries
+
+    def test_resolve_same_module_call(self):
+        index = make_index(**{
+            "src/repro/online/gate.py": """
+                def helper():
+                    pass
+
+                def check():
+                    helper()
+            """,
+        })
+        caller = index.function("repro.online.gate", "check")
+        call = caller.node.body[0].value
+        target = index.resolve_call(caller, call.func)
+        assert target.qualname == "helper"
+
+    def test_resolve_cross_module_from_import(self):
+        index = make_index(**{
+            "src/repro/online/gate.py": """
+                from .stream import ingest
+
+                def check():
+                    ingest()
+            """,
+            "src/repro/online/stream.py": "def ingest():\n    pass\n",
+        })
+        caller = index.function("repro.online.gate", "check")
+        call = caller.node.body[0].value
+        target = index.resolve_call(caller, call.func)
+        assert (target.module, target.qualname) == ("repro.online.stream", "ingest")
+
+    def test_resolve_module_attribute_call(self):
+        index = make_index(**{
+            "src/repro/online/gate.py": """
+                from repro.online import stream
+
+                def check():
+                    stream.ingest()
+            """,
+            "src/repro/online/stream.py": "def ingest():\n    pass\n",
+        })
+        caller = index.function("repro.online.gate", "check")
+        call = caller.node.body[0].value
+        target = index.resolve_call(caller, call.func)
+        assert (target.module, target.qualname) == ("repro.online.stream", "ingest")
+
+    def test_resolve_self_method_call(self):
+        index = make_index(**{
+            "src/repro/online/gate.py": """
+                class Gate:
+                    def helper(self):
+                        pass
+
+                    def check(self):
+                        self.helper()
+            """,
+        })
+        caller = index.function("repro.online.gate", "Gate.check")
+        call = caller.node.body[0].value
+        target = index.resolve_call(caller, call.func)
+        assert target.qualname == "Gate.helper"
+
+    def test_unresolvable_call_returns_none(self):
+        index = make_index(**{
+            "src/repro/online/gate.py": """
+                import os
+
+                def check():
+                    os.getpid()
+            """,
+        })
+        caller = index.function("repro.online.gate", "check")
+        call = caller.node.body[0].value
+        assert index.resolve_call(caller, call.func) is None

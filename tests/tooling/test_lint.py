@@ -340,3 +340,103 @@ class TestDriver:
         out = capsys.readouterr().out
         for rule in all_rules():
             assert rule.name in out
+
+
+class TestStaleWaivers:
+    BAD = "import numpy as np\nrng = np.random.default_rng(0)  # lint: allow[raw-random]\n"
+
+    def test_used_waiver_is_not_flagged(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(self.BAD)
+        violations, _ = lint_paths([path])
+        assert violations == []
+
+    def test_stale_waiver_is_flagged_with_fix_instruction(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1  # lint: allow[raw-random]\n")
+        violations, _ = lint_paths([path])
+        (stale,) = violations
+        assert stale.rule == "stale-waiver"
+        assert stale.line == 1
+        assert "delete the comment" in stale.message
+
+    def test_waiver_for_unknown_rule_is_stale(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1  # lint: allow[no-such-rule]\n")
+        violations, _ = lint_paths([path])
+        assert [v.rule for v in violations] == ["stale-waiver"]
+
+    def test_docstring_mention_is_not_a_waiver(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text('"""Use ``# lint: allow[raw-random]`` to waive."""\n')
+        violations, _ = lint_paths([path])
+        assert violations == []
+
+    def test_unselected_rule_waiver_is_not_judged(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(self.BAD)
+        violations, _ = lint_paths([path], select={"dtype-drift", "stale-waiver"})
+        assert violations == []
+
+    def test_stale_audit_can_itself_be_ignored(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1  # lint: allow[raw-random]\n")
+        violations, _ = lint_paths([path], ignore={"stale-waiver"})
+        assert violations == []
+
+    def test_main_lists_stale_waivers_for_fixing(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1  # lint: allow[raw-random]\n")
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "stale waivers" in out
+        assert f"{path}:1" in out
+
+
+class TestExitCodes:
+    BAD = "import numpy as np\nrng = np.random.default_rng(0)\n"
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_name_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "ok.py"
+        path.write_text("x = 1\n")
+        assert main([str(path), "--select", "no-such-rule"]) == 2
+        assert main([str(path), "--ignore", "no-such-rule"]) == 2
+
+    def test_ignore_silences_findings(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text(self.BAD)
+        assert main([str(path), "--ignore", "raw-random"]) == 0
+
+    def test_json_report_is_written(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.py"
+        path.write_text(self.BAD)
+        out = tmp_path / "report.json"
+        assert main([str(path), "--json", str(out)]) == 1
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["total"] == 1
+        assert payload["summary"]["new"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "raw-random"
+
+    def test_baseline_gates_only_new_findings(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(self.BAD)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(path), "--write-baseline", str(baseline)]) == 0
+        assert main([str(path), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+        # A new *distinct* finding must gate (same-fingerprint repeats of
+        # a baselined finding are tolerated by design).
+        path.write_text(self.BAD + "import random\nalso = random.random()\n")
+        assert main([str(path), "--baseline", str(baseline)]) == 1
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "ok.py"
+        path.write_text("x = 1\n")
+        assert main([str(path), "--baseline", str(tmp_path / "nope.json")]) == 2
