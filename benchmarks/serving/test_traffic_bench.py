@@ -1,0 +1,88 @@
+"""Traffic benchmarks: saturation knee, overload SLOs, pool parity.
+
+Two tiers mirror the other bench harnesses:
+
+* ``traffic_smoke`` — a seconds-long run asserting the *deterministic*
+  properties (virtual-replay shedding, SLO adherence, conservation) plus
+  one real two-worker pool parity pass across a hot reload;
+* ``traffic`` — the fuller sweep behind ``python -m repro.cli
+  traffic-bench``, which also records real closed-loop pool capacity per
+  worker count.
+
+Both append to ``BENCH_serving.json`` under ``benchmarks.traffic_bench``.
+The capacity rows are honest about the container: on a 1-CPU box N
+workers time-slice one core, so worker scaling shows up in the *virtual*
+knee (which models N servers), not in wall-clock QPS.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/serving -m traffic_smoke -q
+    PYTHONPATH=src python -m pytest benchmarks/serving -m traffic -q -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.traffic import fork_available
+from repro.traffic.loadbench import (
+    render_traffic_bench,
+    run_traffic_bench,
+    write_traffic_record,
+)
+
+BENCH_SERVING_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "BENCH_serving.json"
+)
+
+
+def _run_and_record(worker_counts, n_requests):
+    record = run_traffic_bench(
+        worker_counts=worker_counts, n_requests=n_requests,
+    )
+    print("\n" + render_traffic_bench(record))
+    write_traffic_record(record, BENCH_SERVING_PATH)
+
+    saturation = record["saturation"]
+    assert saturation["knee_qps"] is not None, "no saturation knee found"
+    assert all(point["conserved"] for point in saturation["curve"])
+    assert any(point["shed_fraction"] > 0 for point in saturation["curve"]), (
+        "sweep never reached overload — widen the load factors"
+    )
+
+    overload = record["overload"]
+    assert overload is not None
+    assert overload["deterministic"], "overload shedding was not replayable"
+    assert overload["conserved"]
+    assert overload["shed_fraction"] > 0.05
+    assert overload["within_slo"], (
+        f"accepted p99 {overload['p99_ms']:.2f} ms blew the "
+        f"{overload['slo_p99_ms']:.0f} ms SLO under overload"
+    )
+
+    if fork_available():
+        assert record["parity"]["ok"], record["parity"]
+        assert record["parity"]["generations"] == [1, 2]
+    return record
+
+
+@pytest.mark.traffic_smoke
+def test_traffic_smoke():
+    """Tiny trace: knee + overload + one real hot-reload parity pass."""
+    record = _run_and_record(worker_counts=(2,), n_requests=400)
+    assert record["parity"]["n_workers"] == 2 or not fork_available()
+
+
+@pytest.mark.traffic
+def test_traffic_sweep():
+    """Fuller sweep with real capacity rows for 1 and 2 workers."""
+    record = _run_and_record(worker_counts=(1, 2), n_requests=800)
+    if fork_available():
+        for key, entry in record["capacity"].items():
+            assert entry["qps"] > 0, f"pool produced nothing at {key}"
+    # The virtual knee must sit inside the swept range, not at its edge.
+    curve = record["saturation"]["curve"]
+    assert record["saturation"]["knee_qps"] <= curve[-1]["offered_qps"]

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli stats taobao30_sim
     python -m repro.cli train --config session.json
     python -m repro.cli serve-bench [--batch-sizes 1,8,32] [--requests 1500]
+    python -m repro.cli traffic-bench [--workers 1,2] [--requests 640]
 
 Each ``run`` prints the same table the corresponding benchmark target
 emits, without pytest in the loop.  ``train`` drives a single
@@ -135,6 +136,32 @@ def build_parser():
                             "model, seed and training hyper-parameters")
     serve.add_argument("--verbose", action="store_true")
 
+    traffic = commands.add_parser(
+        "traffic-bench",
+        help="sweep trace-driven offered load over the multi-process "
+             "predictor pool: saturation knee, overload SLO behavior, and "
+             "pool/single-process bit-parity across a hot reload",
+    )
+    traffic.add_argument("--workers", type=_seeds, default=(1, 2),
+                         help="comma-separated pool worker counts "
+                              "(default: 1,2)")
+    traffic.add_argument("--requests", type=int, default=640,
+                         help="trace length in requests (default: 640)")
+    traffic.add_argument("--max-batch", type=int, default=32,
+                         help="dispatch batch size bound (default: 32)")
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--epochs", type=int, default=1,
+                         help="training epochs before publishing "
+                              "(default: 1)")
+    traffic.add_argument("--out", default=None,
+                         help="benchmark journal path "
+                              "(default: BENCH_serving.json; '-' to skip)")
+    traffic.add_argument("--config", default=None,
+                         help="optional SessionConfig JSON file supplying "
+                              "the model, seed and training "
+                              "hyper-parameters")
+    traffic.add_argument("--verbose", action="store_true")
+
     online = commands.add_parser(
         "online-sim",
         help="run the continual-learning pipeline on a drifted event "
@@ -232,6 +259,42 @@ def _run_serve_bench(args):
     return 0
 
 
+def _run_traffic_bench(args):
+    from .traffic.loadbench import (
+        DEFAULT_BENCH_PATH,
+        render_traffic_bench,
+        run_traffic_bench,
+        write_traffic_record,
+    )
+
+    session = None
+    if args.config is not None:
+        from .train import SessionConfig
+
+        session = SessionConfig.from_file(args.config)
+    record = run_traffic_bench(
+        worker_counts=args.workers, n_requests=args.requests,
+        max_batch=args.max_batch, seed=args.seed, epochs=args.epochs,
+        session=session,
+    )
+    print(render_traffic_bench(record))
+    out = args.out if args.out is not None else DEFAULT_BENCH_PATH
+    if out != "-":
+        path = write_traffic_record(record, out)
+        print(f"results appended to {path}")
+    failed = record["parity"]["ok"] is False
+    overload = record["overload"]
+    if overload is not None and not (
+        overload["deterministic"] and overload["within_slo"]
+        and overload["conserved"]
+    ):
+        failed = True
+    if failed:
+        print("traffic-bench acceptance FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_online_sim(args):
     from dataclasses import replace
 
@@ -309,6 +372,8 @@ def main(argv=None):
         return _run_train(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
+    if args.command == "traffic-bench":
+        return _run_traffic_bench(args)
     if args.command == "online-sim":
         return _run_online_sim(args)
     if args.command == "analyze":

@@ -18,9 +18,10 @@ The deployment layer between a trained
 from .batcher import BatchingPolicy, MicroBatcher, PendingRequest
 from .embedding_cache import ServingEmbeddingCache, training_access_counts
 from .service import LatencyRecorder, Predictor, ServingService
-from .snapshots import ModelSnapshot, SnapshotStore
+from .snapshots import ModelSnapshot, SharedSnapshotArena, SnapshotStore
 
 __all__ = [
+    "SharedSnapshotArena",
     "BatchingPolicy",
     "MicroBatcher",
     "PendingRequest",

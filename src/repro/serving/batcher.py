@@ -9,8 +9,14 @@ per-domain batches under a two-knob policy:
 * **size trigger** — a domain's queue flushes the moment it reaches
   ``max_batch_size`` rows;
 * **wait trigger** — a non-empty queue older than ``max_wait_us``
-  microseconds flushes on the next :meth:`MicroBatcher.poll`, bounding the
-  latency a lone request can pay waiting for company.
+  microseconds flushes on the next :meth:`MicroBatcher.poll` **or**
+  :meth:`MicroBatcher.submit` — to *any* domain — bounding the latency a
+  lone request can pay waiting for company.  Without the submit-side
+  check, a sub-``max_batch_size`` queue whose domain never sees another
+  arrival would starve until someone happened to poll;
+  :meth:`MicroBatcher.next_deadline` tells a clock-driven caller exactly
+  when the next wait flush is due, so idle drivers can sleep precisely
+  instead of busy-polling.
 
 Batches are per-domain because every row of a batch must be scored under
 the same parameters ``Θ_i``.  The clock is injectable so flush policies
@@ -99,7 +105,12 @@ class MicroBatcher:
     # Intake
     # ------------------------------------------------------------------
     def submit(self, user, item, domain):
-        """Enqueue one request; may flush its domain on the size trigger."""
+        """Enqueue one request; may flush its domain on the size trigger.
+
+        Also flushes any queue — in *any* domain — whose oldest request
+        exceeded the max wait, so an idle sub-batch cannot starve behind
+        traffic that only ever touches other domains.
+        """
         now = self._clock()
         request = PendingRequest(user, item, domain, now)
         queue = self._queues.setdefault(request.domain, [])
@@ -109,6 +120,7 @@ class MicroBatcher:
         self.requests += 1
         if len(queue) >= self.policy.max_batch_size:
             self._flush_domain(request.domain, "size")
+        self._flush_due(now)
         return request
 
     # ------------------------------------------------------------------
@@ -116,7 +128,21 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def poll(self):
         """Flush every queue whose oldest request exceeded the max wait."""
-        now = self._clock()
+        return self._flush_due(self._clock())
+
+    def next_deadline(self):
+        """Clock time at which the oldest queued request becomes overdue.
+
+        ``None`` when nothing is queued.  A clock-driven caller (the load
+        bench's open-loop dispatcher, a test harness) advances its clock
+        to this instant and calls :meth:`poll` — the wait trigger then
+        fires even if no request ever arrives again.
+        """
+        if not self._oldest:
+            return None
+        return min(self._oldest.values()) + self.policy.max_wait_seconds
+
+    def _flush_due(self, now):
         due = [
             domain for domain, oldest in self._oldest.items()
             if self._queues.get(domain)

@@ -168,6 +168,18 @@ class Predictor:
             self._caches[(name, domain)] = cache
         return cache
 
+    def invalidate_caches(self):
+        """Drop row caches and the loaded-state memo.
+
+        The per-version caches hold closures over the snapshot they were
+        built against; a pool worker calls this before flipping to a new
+        shared-memory generation so no reference pins the old segment's
+        buffer (the next ``predict_batch`` rebuilds caches lazily).
+        """
+        self._caches = {}
+        self._cache_version = None
+        self._loaded = None
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

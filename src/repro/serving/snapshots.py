@@ -17,17 +17,28 @@ combined states therefore does not cost ``n_domains`` full model copies.
 Persistence reuses :mod:`repro.nn.serialization`, whose format-version +
 checksum header makes a truncated or bit-flipped snapshot fail at load
 time instead of silently serving garbage parameters.
+
+For the multi-process predictor pool (:mod:`repro.traffic.pool`) the COW
+materialization extends *across processes*: a
+:class:`SharedSnapshotArena` packs every unique array of a snapshot —
+each aliased ``θ_S`` table exactly once — into a single
+``multiprocessing.shared_memory`` segment, and workers attach zero-copy,
+read-only views.  Segments are generation-tagged so a hot reload under
+load creates a fresh segment and flips workers atomically, while requests
+already in flight finish on the generation they pinned.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
+from multiprocessing import shared_memory
 
 import numpy as np
 
 from ..nn.serialization import load_bank_states, save_bank_states
 
-__all__ = ["ModelSnapshot", "SnapshotStore"]
+__all__ = ["ModelSnapshot", "SnapshotStore", "SharedSnapshotArena"]
 
 
 def _freeze(array):
@@ -277,3 +288,197 @@ class SnapshotStore:
             domain_states, default_state=default_state,
             access_counts=access_counts, metadata=metadata,
         )
+
+
+# ----------------------------------------------------------------------
+# Cross-process zero-copy materialization
+# ----------------------------------------------------------------------
+_ALIGN = 64  # cache-line alignment for every packed array
+
+
+class SharedSnapshotArena:
+    """One snapshot's arrays packed into a shared-memory segment.
+
+    The parent calls :meth:`materialize` once per published generation;
+    the COW structure of the :class:`ModelSnapshot` is preserved exactly —
+    arrays are deduplicated by identity, so a ``θ_S`` table aliased by
+    forty domains occupies the segment once and every worker maps it once.
+    Workers call :meth:`attach` with the (picklable) :attr:`manifest` and
+    receive a :class:`ModelSnapshot` whose arrays are read-only, zero-copy
+    views into the segment — bit-identical to the parent's snapshot, so
+    the pooled serving path inherits the single-process parity guarantee.
+
+    Lifecycle: the creating side owns the segment and must call
+    :meth:`unlink` when no worker can still flip to this generation;
+    attached sides call :meth:`close` after dropping every view (the pool
+    does this when it flips to a newer generation).
+    """
+
+    def __init__(self, segment, manifest, snapshot, owner, views=()):
+        self._segment = segment
+        self.manifest = manifest
+        self.snapshot = snapshot
+        self._owner = owner
+        self._closed = False
+        # Weak references to every view handed out by ``attach``: closing
+        # the segment while a view is alive would unmap memory under it
+        # (``SharedMemory.close`` does not reliably detect numpy exports),
+        # so ``close`` refuses until they are all garbage.
+        self._views = [weakref.ref(view) for view in views]
+
+    # ------------------------------------------------------------------
+    # Parent side
+    # ------------------------------------------------------------------
+    @classmethod
+    def materialize(cls, snapshot, generation):
+        """Pack ``snapshot`` into a fresh shared segment (parent side)."""
+        arrays = {}   # id(array) -> (key, array)
+        order = []
+
+        def intern(array):
+            key = arrays.get(id(array))
+            if key is None:
+                key = f"a{len(arrays)}"
+                arrays[id(array)] = key
+                order.append((key, array))
+            return key
+
+        default_entries = None
+        if snapshot.default_state is not None:
+            default_entries = [
+                (name, intern(value))
+                for name, value in snapshot.default_state.items()
+            ]
+        state_entries = {
+            int(domain): [(name, intern(value)) for name, value in state.items()]
+            for domain, state in snapshot.states.items()
+        }
+        count_entries = [
+            (name, intern(np.ascontiguousarray(value)))
+            for name, value in snapshot.access_counts.items()
+        ]
+
+        layout = {}
+        offset = 0
+        for key, array in order:
+            offset = -(-offset // _ALIGN) * _ALIGN  # round up
+            layout[key] = {
+                "offset": offset,
+                "shape": tuple(array.shape),
+                "dtype": str(array.dtype),
+            }
+            offset += array.nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        for key, array in order:
+            spec = layout[key]
+            view = np.ndarray(
+                spec["shape"], dtype=spec["dtype"],
+                buffer=segment.buf, offset=spec["offset"],
+            )
+            view[...] = array
+        manifest = {
+            "segment": segment.name,
+            "generation": int(generation),
+            "version": snapshot.version,
+            "arrays": layout,
+            "default_state": default_entries,
+            "states": state_entries,
+            "access_counts": count_entries,
+            "metadata": dict(snapshot.metadata),
+        }
+        del view
+        return cls(segment, manifest, snapshot, owner=True)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, manifest):
+        """Map an existing segment and rebuild its :class:`ModelSnapshot`.
+
+        Views are built once per array key and shared between every state
+        entry that referenced the same key, so COW aliasing survives the
+        process boundary (``cow_stats`` on the attached snapshot reports
+        the same aliased/copied split as the parent's).
+
+        Attach from the owning process or one of its ``fork`` children
+        only: CPython registers POSIX shared memory with the resource
+        tracker even on attach (bpo-38119), and only a *shared* tracker —
+        fork inherits the owner's — deduplicates that registration
+        instead of unlinking the owner's segment at exit.
+        """
+        segment = shared_memory.SharedMemory(name=manifest["segment"])
+        views = {}
+        for key, spec in manifest["arrays"].items():
+            view = np.ndarray(
+                tuple(spec["shape"]), dtype=spec["dtype"],
+                buffer=segment.buf, offset=spec["offset"],
+            )
+            view.setflags(write=False)
+            views[key] = view
+        default_state = None
+        if manifest["default_state"] is not None:
+            default_state = OrderedDict(
+                (name, views[key]) for name, key in manifest["default_state"]
+            )
+        states = {
+            int(domain): OrderedDict(
+                (name, views[key]) for name, key in entries
+            )
+            for domain, entries in manifest["states"].items()
+        }
+        access_counts = {
+            name: views[key] for name, key in manifest["access_counts"]
+        }
+        snapshot = ModelSnapshot(
+            manifest["version"], states, default_state,
+            access_counts=access_counts, metadata=manifest["metadata"],
+        )
+        return cls(segment, manifest, snapshot, owner=False,
+                   views=views.values())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def generation(self):
+        return self.manifest["generation"]
+
+    @property
+    def version(self):
+        return self.manifest["version"]
+
+    @property
+    def nbytes(self):
+        return self._segment.size
+
+    def close(self):
+        """Release this process's mapping (drop all views first).
+
+        Returns ``True`` when the mapping was actually released; ``False``
+        when live views still pin the buffer (the caller retries after the
+        views die — the pool keeps a zombie list for exactly that).
+        Closing under a live view would unmap memory it still points at,
+        so liveness is tracked explicitly via weak references.
+        """
+        if self._closed:
+            return True
+        self.snapshot = None
+        if any(ref() is not None for ref in self._views):
+            return False
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - backstop on other builds
+            return False
+        self._closed = True
+        return True
+
+    def unlink(self):
+        """Destroy the segment (owner side, after every worker flipped)."""
+        if not self._owner:
+            raise RuntimeError("only the materializing process may unlink")
+        self.close()
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass

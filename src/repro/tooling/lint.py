@@ -232,11 +232,13 @@ class DtypeDriftRule(Rule):
     name = "dtype-drift"
     description = (
         "no float32/float16 astype()/dtype= literals in repro/nn, "
-        "repro/serving or repro/online — the engine is float64 end-to-end, "
-        "and both the serving path's and the continual pipeline's "
-        "bit-identical parity guarantees die on any downcast"
+        "repro/serving, repro/online or repro/traffic — the engine is "
+        "float64 end-to-end, and the bit-identical parity guarantees of "
+        "the serving path, the continual pipeline and the multi-process "
+        "predictor pool all die on any downcast"
     )
-    scopes = ("repro/nn/", "repro/serving/", "repro/online/")
+    scopes = ("repro/nn/", "repro/serving/", "repro/online/",
+              "repro/traffic/")
 
     _BAD_DOTTED = frozenset({
         "np.float32", "np.float16", "np.single", "np.half",
@@ -365,11 +367,11 @@ class EagerInnerLoopRule(Rule):
     name = "eager-inner-loop"
     description = (
         "hand-rolled eager training steps (model.loss → backward → "
-        "optimizer.step) in repro/core or repro/distributed must route "
-        "through the compiled executor (repro.nn.compile) or carry an "
-        "explicit waiver on the sanctioned eager fallback"
+        "optimizer.step) in repro/core, repro/distributed or repro/traffic "
+        "must route through the compiled executor (repro.nn.compile) or "
+        "carry an explicit waiver on the sanctioned eager fallback"
     )
-    scopes = ("repro/core/", "repro/distributed/")
+    scopes = ("repro/core/", "repro/distributed/", "repro/traffic/")
 
     @staticmethod
     def _attr_calls(func_def, attr):

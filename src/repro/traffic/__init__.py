@@ -1,0 +1,56 @@
+"""``repro.traffic`` — production-traffic harness for the serving tier.
+
+PR 3 built the serving path and PR 5 the drifted stream it retrains on;
+this package asks what happens when *production traffic* hits that path:
+
+* :mod:`repro.traffic.tracegen` — seeded, replayable traffic traces:
+  Zipf domain mix, diurnal rate curves, Poisson/bursty arrivals, plus an
+  adapter replaying the drifted :mod:`repro.online.stream` as a trace;
+* :mod:`repro.traffic.pool` — an N-process predictor pool attached
+  read-only to one shared-memory snapshot arena (COW structure intact),
+  with generation-tagged hot reload under load;
+* :mod:`repro.traffic.admission` — per-domain SLOs, bounded queues and
+  load-shedding policies with conservation-checked accounting;
+* :mod:`repro.traffic.loadbench` — the ``traffic-bench`` harness behind
+  ``python -m repro.cli traffic-bench``: saturation knee, overload SLO
+  behavior, and pool/single-process bit-parity.
+"""
+
+from .admission import AdmissionConfig, AdmissionController, DomainSLO
+from .loadbench import (
+    ServiceTimeModel,
+    calibrate_service_model,
+    check_pool_parity,
+    find_knee,
+    measure_pool_capacity,
+    render_traffic_bench,
+    run_traffic_bench,
+    simulate_replay,
+    sweep_saturation,
+    write_traffic_record,
+)
+from .pool import PoolError, PredictorPool, fork_available
+from .tracegen import Trace, TraceConfig, generate_trace, trace_from_stream
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "DomainSLO",
+    "ServiceTimeModel",
+    "calibrate_service_model",
+    "check_pool_parity",
+    "find_knee",
+    "measure_pool_capacity",
+    "render_traffic_bench",
+    "run_traffic_bench",
+    "simulate_replay",
+    "sweep_saturation",
+    "write_traffic_record",
+    "PoolError",
+    "PredictorPool",
+    "fork_available",
+    "Trace",
+    "TraceConfig",
+    "generate_trace",
+    "trace_from_stream",
+]

@@ -283,15 +283,31 @@ def step_speedup(eager_prof, compiled_prof, name="train.step"):
     }
 
 
-def percentile(samples, q):
-    """Nearest-rank percentile of a sample list (``q`` in [0, 1]).
+def percentile(samples, q, method="linear"):
+    """Percentile of a sample list (``q`` in [0, 1]).
 
-    Implemented locally (sort + index) so latency summaries do not pull in
-    numpy's interpolating percentile, whose result is not one of the
-    observed samples.
+    The default interpolates linearly between the two order statistics
+    bracketing rank ``q * (n - 1)`` (numpy's ``linear`` convention), so
+    tail estimates like p99 move smoothly as samples accumulate instead
+    of jumping between observed values at small ``n``.
+
+    ``method="nearest"`` keeps the historical nearest-rank behavior —
+    the result is always one of the observed samples — for consumers
+    that need an actual witness value rather than a smooth estimate.
     """
     if not samples:
         raise ValueError("cannot take a percentile of an empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
     ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(round(q * len(ordered) + 0.5)) - 1))
-    return ordered[rank]
+    n = len(ordered)
+    if method == "nearest":
+        rank = min(n - 1, max(0, int(round(q * n + 0.5)) - 1))
+        return ordered[rank]
+    if method != "linear":
+        raise ValueError(f"unknown percentile method {method!r}")
+    position = q * (n - 1)
+    lower = int(position)
+    upper = min(lower + 1, n - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction

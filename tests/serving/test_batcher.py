@@ -93,6 +93,41 @@ def test_wait_timer_starts_at_first_request_of_batch():
     assert batcher.poll() == 1          # oldest request is 1.1ms old
 
 
+def test_stale_queue_flushes_on_submit_to_another_domain():
+    """Starvation fix: an overdue sub-batch must not wait for a poll."""
+    batcher, scorer, clock = make_batcher(max_batch_size=100,
+                                          max_wait_us=1000.0)
+    starved = batcher.submit(7, 70, 0)
+    clock.advance(0.0015)               # domain-0 queue is now overdue
+    batcher.submit(1, 10, 1)            # traffic only ever hits domain 1
+    assert starved.done                 # flushed by the submit, no poll
+    assert starved.result == pytest.approx(7.07)
+    assert batcher.wait_flushes == 1
+    assert scorer.batches[0][2] == 0
+
+
+def test_next_deadline_drives_idle_flush():
+    """With no arrivals at all, next_deadline + poll flushes at max_wait."""
+    batcher, _, clock = make_batcher(max_batch_size=100, max_wait_us=1000.0)
+    assert batcher.next_deadline() is None
+    clock.advance(0.25)
+    request = batcher.submit(3, 30, 2)
+    deadline = batcher.next_deadline()
+    assert deadline == pytest.approx(0.25 + 0.001)
+    clock.advance(deadline - clock.now)  # idle: clock runs, nothing arrives
+    assert batcher.poll() == 1
+    assert request.done
+    assert batcher.next_deadline() is None
+
+
+def test_next_deadline_tracks_oldest_queue():
+    batcher, _, clock = make_batcher(max_batch_size=100, max_wait_us=1000.0)
+    batcher.submit(0, 0, 0)
+    clock.advance(0.0004)
+    batcher.submit(1, 1, 1)
+    assert batcher.next_deadline() == pytest.approx(0.001)  # domain 0's
+
+
 def test_drain_force_flushes_everything():
     batcher, scorer, _ = make_batcher(max_batch_size=100)
     requests = [batcher.submit(u, u, u % 2) for u in range(5)]

@@ -222,3 +222,84 @@ def test_prune_does_not_pin_unrelated_versions_behind_anchor(space):
     # Budget 2: v1 (old) is now unprotected and must go; v3 (anchor) and
     # v4 (current) stay.
     assert store.versions() == [3, 4]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory arena (cross-process COW)
+# ----------------------------------------------------------------------
+def test_shared_arena_round_trip_preserves_bits_and_aliasing(space):
+    from repro.serving import SharedSnapshotArena
+
+    store = SnapshotStore()
+    snapshot = store.publish(
+        space, access_counts={"user_emb.weight": np.arange(5)}
+    )
+    arena = SharedSnapshotArena.materialize(snapshot, generation=3)
+    attached = SharedSnapshotArena.attach(arena.manifest)
+    try:
+        mirror = attached.snapshot
+        assert attached.generation == 3
+        assert mirror.version == snapshot.version
+        for domain in snapshot.domains:
+            for name, value in snapshot.state_for(domain).items():
+                twin = mirror.state_for(domain)[name]
+                assert np.array_equal(twin, value)
+                assert not twin.flags.writeable
+        # COW survives the process boundary: the same aliased/copied split.
+        assert mirror.cow_stats() == snapshot.cow_stats()
+        # Aliased entries are literally one view, not n_domains views.
+        zero_delta = next(
+            name for name in snapshot.default_state
+            if snapshot.states[0][name] is snapshot.default_state[name]
+        )
+        assert mirror.states[0][zero_delta] is mirror.default_state[zero_delta]
+    finally:
+        del mirror, twin
+        assert attached.close()
+        arena.unlink()
+
+
+def test_shared_arena_packs_unique_arrays_once(space):
+    from repro.serving import SharedSnapshotArena
+
+    snapshot = SnapshotStore().publish(space)
+    arena = SharedSnapshotArena.materialize(snapshot, generation=1)
+    try:
+        unique = {id(v) for state in snapshot.states.values()
+                  for v in state.values()}
+        unique |= {id(v) for v in snapshot.default_state.values()}
+        assert len(arena.manifest["arrays"]) == len(unique)
+        total = sum(
+            v for state in [snapshot.default_state, *snapshot.states.values()]
+            for v in [sum(a.nbytes for a in state.values())]
+        )
+        # Aliasing means the segment is far smaller than the naive sum.
+        assert arena.nbytes < total
+    finally:
+        arena.unlink()
+
+
+def test_shared_arena_only_owner_unlinks(space):
+    from repro.serving import SharedSnapshotArena
+
+    snapshot = SnapshotStore().publish(space)
+    arena = SharedSnapshotArena.materialize(snapshot, generation=1)
+    attached = SharedSnapshotArena.attach(arena.manifest)
+    with pytest.raises(RuntimeError):
+        attached.unlink()
+    assert attached.close()
+    arena.unlink()
+
+
+def test_shared_arena_close_reports_pinned_views(space):
+    from repro.serving import SharedSnapshotArena
+
+    snapshot = SnapshotStore().publish(space)
+    arena = SharedSnapshotArena.materialize(snapshot, generation=1)
+    attached = SharedSnapshotArena.attach(arena.manifest)
+    pinned = attached.snapshot.state_for(0)
+    name, view = next(iter(pinned.items()))
+    assert not attached.close()          # a live view pins the buffer
+    del pinned, view
+    assert attached.close()              # released once views die
+    arena.unlink()

@@ -66,6 +66,44 @@ def test_render_and_as_dict():
     assert seconds == sorted(seconds, reverse=True)
 
 
+def test_percentile_linear_interpolation_matches_numpy():
+    rng = np.random.default_rng(7)
+    samples = list(rng.normal(size=37))
+    for q in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+        np.testing.assert_allclose(
+            profiling.percentile(samples, q), np.percentile(samples, q * 100)
+        )
+
+
+def test_percentile_linear_is_smooth_at_small_n():
+    # Nearest-rank p99 of 4 samples is just the max; linear interpolates.
+    samples = [1.0, 2.0, 3.0, 10.0]
+    linear = profiling.percentile(samples, 0.99)
+    assert 3.0 < linear < 10.0
+    assert profiling.percentile(samples, 0.99, method="nearest") == 10.0
+
+
+def test_percentile_nearest_returns_witness_values():
+    samples = [5.0, 1.0, 3.0]
+    for q in (0.0, 0.3, 0.5, 0.77, 1.0):
+        assert profiling.percentile(samples, q, method="nearest") in samples
+
+
+def test_percentile_edges_and_validation():
+    assert profiling.percentile([4.0], 0.99) == 4.0
+    assert profiling.percentile([1.0, 2.0], 0.0) == 1.0
+    assert profiling.percentile([1.0, 2.0], 1.0) == 2.0
+    assert profiling.percentile([1.0, 2.0], 0.5) == 1.5
+    import pytest
+
+    with pytest.raises(ValueError):
+        profiling.percentile([], 0.5)
+    with pytest.raises(ValueError):
+        profiling.percentile([1.0], 1.5)
+    with pytest.raises(ValueError):
+        profiling.percentile([1.0], 0.5, method="cubic")
+
+
 def test_runner_profiler_hook():
     dataset = make_tiny_dataset("trainable", n_domains=2, samples=(60, 40))
     config = TrainConfig(epochs=1, batch_size=16, inner_steps=2)

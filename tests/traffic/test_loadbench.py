@@ -1,0 +1,163 @@
+"""Virtual load replay: determinism, conservation, knee finding, SLOs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traffic import (
+    AdmissionConfig,
+    DomainSLO,
+    ServiceTimeModel,
+    TraceConfig,
+    find_knee,
+    generate_trace,
+    simulate_replay,
+    sweep_saturation,
+)
+
+pytestmark = pytest.mark.traffic
+
+# Fixed coefficients: tests must not depend on live timing calibration.
+MODEL = ServiceTimeModel(base_seconds=150e-6, per_row_seconds=3e-6)
+
+
+def make_trace(mean_qps=3000.0, duration=0.4, seed=5, **overrides):
+    base = dict(
+        name="lb", n_domains=4, n_users=100, n_items=60,
+        duration=duration, mean_qps=mean_qps, slot_seconds=0.01, seed=seed,
+    )
+    base.update(overrides)
+    return generate_trace(TraceConfig(**base))
+
+
+def admission(policy="fair", p99_ms=20.0, max_queue=64, total=None):
+    return AdmissionConfig(
+        policy=policy,
+        default_slo=DomainSLO(p99_ms=p99_ms, max_queue=max_queue),
+        total_queue=total,
+    )
+
+
+def test_replay_is_deterministic_from_the_trace_seed():
+    trace = make_trace()
+    first = simulate_replay(trace, MODEL, n_workers=2, max_batch=16,
+                            admission=admission())
+    second = simulate_replay(trace, MODEL, n_workers=2, max_batch=16,
+                             admission=admission())
+    assert first == second
+    assert first["decision_crc32"] == second["decision_crc32"]
+
+
+def test_replay_conserves_requests_even_under_overload():
+    capacity = MODEL.capacity_qps(2, 16)
+    trace = make_trace().at_rate(3.0 * capacity)
+    result = simulate_replay(trace, MODEL, n_workers=2, max_batch=16,
+                             admission=admission(max_queue=8))
+    assert result["conserved"]
+    assert result["offered"] == result["accepted"] + result["shed"]
+    assert result["shed_fraction"] > 0.2
+
+
+def test_underloaded_replay_sheds_nothing_and_stays_fast():
+    capacity = MODEL.capacity_qps(2, 16)
+    trace = make_trace().at_rate(0.2 * capacity)
+    result = simulate_replay(trace, MODEL, n_workers=2, max_batch=16,
+                             admission=admission())
+    assert result["shed"] == 0
+    assert result["p99_ms"] is not None
+    # At 20% load a batch rarely queues: p99 stays within a few service
+    # times of the bare batch cost.
+    assert result["p99_ms"] < 5.0 * MODEL.service_seconds(16) * 1e3
+
+
+def test_latency_is_measured_from_intended_arrival():
+    """Coordinated-omission honesty: one worker, far too much traffic —
+    waiting time must show up in the percentiles."""
+    capacity = MODEL.capacity_qps(1, 16)
+    trace = make_trace().at_rate(2.0 * capacity)
+    # No deadline shedding, deep queues: everything is eventually served,
+    # so the backlog converts into latency.
+    config = AdmissionConfig(
+        default_slo=DomainSLO(p99_ms=1e6, max_queue=10_000),
+        shed_deadline=False,
+    )
+    result = simulate_replay(trace, MODEL, n_workers=1, max_batch=16,
+                             admission=config)
+    assert result["shed"] == 0
+    assert result["p99_ms"] > 20.0 * MODEL.service_seconds(16) * 1e3
+
+
+def test_accepted_p99_stays_within_slo_under_2x_overload():
+    """The overload acceptance property, on the virtual replay."""
+    slo = DomainSLO(p99_ms=3.0, max_queue=64)
+    config = AdmissionConfig(policy="fair", default_slo=slo)
+    capacity = MODEL.capacity_qps(2, 16)
+    trace = make_trace(duration=0.6).at_rate(2.0 * capacity)
+    result = simulate_replay(trace, MODEL, n_workers=2, max_batch=16,
+                             admission=config)
+    assert result["shed_fraction"] > 0.1
+    assert result["conserved"]
+    # Deadline shedding bounds accepted wait at 0.6 * p99; service adds
+    # at most one max_batch: structurally within the SLO.
+    assert result["p99_ms"] <= slo.p99_ms
+
+
+def test_more_workers_move_the_knee():
+    trace = make_trace(duration=0.6)
+    slow = sweep_saturation(trace, MODEL, n_workers=1, max_batch=16,
+                            admission=admission(max_queue=16))
+    fast = sweep_saturation(trace, MODEL, n_workers=4, max_batch=16,
+                            admission=admission(max_queue=16))
+    assert slow["knee_qps"] is not None and fast["knee_qps"] is not None
+    assert fast["knee_qps"] > 2.0 * slow["knee_qps"]
+    assert fast["capacity_bound_qps"] == pytest.approx(
+        4.0 * slow["capacity_bound_qps"]
+    )
+
+
+def test_sweep_curve_is_ordered_and_annotated():
+    trace = make_trace(duration=0.4)
+    sweep = sweep_saturation(trace, MODEL, n_workers=2, max_batch=16,
+                             admission=admission(max_queue=16))
+    offered = [point["offered_qps"] for point in sweep["curve"]]
+    assert offered == sorted(offered)
+    assert all("p99_ms" in point and "shed_fraction" in point
+               for point in sweep["curve"])
+    assert all(point["conserved"] for point in sweep["curve"])
+
+
+def test_find_knee_interpolates_the_shed_crossing():
+    curve = [
+        {"offered_qps": 100.0, "shed_fraction": 0.0, "p99_ms": 1.0},
+        {"offered_qps": 200.0, "shed_fraction": 0.005, "p99_ms": 1.2},
+        {"offered_qps": 300.0, "shed_fraction": 0.055, "p99_ms": 1.4},
+    ]
+    knee = find_knee(curve, max_shed=0.01)
+    assert 200.0 < knee < 300.0
+    assert knee == pytest.approx(200.0 + 100.0 * 0.005 / 0.05)
+
+
+def test_find_knee_handles_all_good_and_all_bad():
+    good = [{"offered_qps": 100.0, "shed_fraction": 0.0, "p99_ms": 1.0}]
+    assert find_knee(good) == 100.0
+    bad = [{"offered_qps": 100.0, "shed_fraction": 0.5, "p99_ms": 9.0}]
+    assert find_knee(bad) is None
+
+
+def test_find_knee_latency_cap():
+    curve = [
+        {"offered_qps": 100.0, "shed_fraction": 0.0, "p99_ms": 1.0},
+        {"offered_qps": 200.0, "shed_fraction": 0.0, "p99_ms": 50.0},
+    ]
+    assert find_knee(curve) == 200.0
+    assert find_knee(curve, latency_cap_ms=10.0) == 100.0
+
+
+def test_service_model_validation_and_capacity():
+    with pytest.raises(ValueError):
+        ServiceTimeModel(base_seconds=0.0, per_row_seconds=1e-6)
+    with pytest.raises(ValueError):
+        ServiceTimeModel(base_seconds=1e-6, per_row_seconds=-1e-6)
+    model = ServiceTimeModel(base_seconds=1e-4, per_row_seconds=1e-5)
+    assert model.service_seconds(10) == pytest.approx(2e-4)
+    assert model.capacity_qps(2, 10) == pytest.approx(2 * 10 / 2e-4)

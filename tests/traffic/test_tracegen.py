@@ -1,0 +1,143 @@
+"""Traffic-trace generator: determinism, rate honesty, skew, adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.online.stream import EventStream, StreamConfig
+from repro.traffic import TraceConfig, generate_trace, trace_from_stream
+
+pytestmark = pytest.mark.traffic
+
+
+def make_config(**overrides):
+    base = dict(
+        name="t", n_domains=4, n_users=120, n_items=80,
+        duration=0.5, mean_qps=3000.0, slot_seconds=0.01, seed=3,
+    )
+    base.update(overrides)
+    return TraceConfig(**base)
+
+
+def test_trace_is_a_pure_function_of_its_config():
+    first = generate_trace(make_config())
+    second = generate_trace(make_config())
+    assert np.array_equal(first.times, second.times)
+    assert np.array_equal(first.users, second.users)
+    assert np.array_equal(first.items, second.items)
+    assert np.array_equal(first.domains, second.domains)
+
+
+def test_different_seeds_give_different_traffic():
+    first = generate_trace(make_config(seed=3))
+    second = generate_trace(make_config(seed=4))
+    assert not np.array_equal(first.times, second.times)
+
+
+def test_timestamps_sorted_and_inside_horizon():
+    trace = generate_trace(make_config(arrival="bursty",
+                                       diurnal_amplitude=0.4))
+    assert np.all(np.diff(trace.times) >= 0)
+    assert trace.times[0] >= 0.0
+    assert trace.times[-1] <= trace.horizon
+    assert trace.times.dtype == np.float64
+
+
+def test_realized_rate_tracks_mean_qps():
+    # Long enough that Poisson noise stays within a few percent.
+    trace = generate_trace(make_config(duration=2.0, mean_qps=5000.0))
+    assert trace.offered_qps == pytest.approx(5000.0, rel=0.1)
+
+
+def test_bursty_rate_normalization_still_honest():
+    """Burst modulation must not inflate the time-averaged offered rate."""
+    trace = generate_trace(make_config(
+        duration=2.0, mean_qps=5000.0, arrival="bursty",
+        burst_multiplier=8.0, burst_fraction=0.15,
+    ))
+    assert trace.offered_qps == pytest.approx(5000.0, rel=0.15)
+
+
+def test_domain_mix_is_zipf_skewed():
+    trace = generate_trace(make_config(duration=2.0, domain_skew=1.2))
+    counts = trace.per_domain_counts()
+    ordered = [counts[d] for d in range(trace.n_domains)]
+    assert ordered[0] > ordered[-1] * 2
+    assert ordered == sorted(ordered, reverse=True)
+
+
+def test_at_rate_keeps_the_request_sequence_identical():
+    trace = generate_trace(make_config())
+    faster = trace.at_rate(2.0 * trace.offered_qps)
+    assert np.array_equal(faster.users, trace.users)
+    assert np.array_equal(faster.items, trace.items)
+    assert np.array_equal(faster.domains, trace.domains)
+    assert faster.offered_qps == pytest.approx(2.0 * trace.offered_qps)
+    # Same inter-arrival *structure*, uniformly compressed.
+    np.testing.assert_allclose(
+        faster.interarrival_seconds() * 2.0,
+        trace.interarrival_seconds(), rtol=1e-9, atol=1e-12,
+    )
+
+
+def test_head_truncates_consistently():
+    trace = generate_trace(make_config())
+    head = trace.head(32)
+    assert len(head) == 32
+    assert np.array_equal(head.users, trace.users[:32])
+    assert np.array_equal(head.times, trace.times[:32])
+
+
+def test_diurnal_curve_moves_load_within_the_day():
+    trace = generate_trace(make_config(
+        duration=2.0, diurnal_amplitude=0.8, diurnal_period=2.0,
+    ))
+    # First half-period is the sine peak, second half the trough.
+    peak = int(np.sum(trace.times < 1.0))
+    trough = len(trace) - peak
+    assert peak > 1.3 * trough
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        make_config(mean_qps=0.0)
+    with pytest.raises(ValueError):
+        make_config(arrival="lumpy")
+    with pytest.raises(ValueError):
+        make_config(diurnal_amplitude=1.0)
+    with pytest.raises(ValueError):
+        make_config(arrival="bursty", burst_multiplier=0.5)
+    with pytest.raises(ValueError):
+        make_config(slot_seconds=0.0)
+
+
+def test_trace_from_stream_preserves_event_content():
+    stream = EventStream(StreamConfig(
+        n_domains=3, n_users=60, n_items=40, n_windows=3,
+        window_events=60, seed=5,
+    ))
+    trace = trace_from_stream(stream, mean_qps=2000.0, seed=9)
+    expected_users = np.concatenate(
+        [stream.window(i).users for i in range(3)]
+    )
+    expected_domains = np.concatenate(
+        [stream.window(i).domains for i in range(3)]
+    )
+    assert np.array_equal(trace.users, expected_users)
+    assert np.array_equal(trace.domains, expected_domains)
+    assert np.all(np.diff(trace.times) >= 0)
+    assert trace.offered_qps == pytest.approx(2000.0, rel=0.35)
+    # Seeded arrival assignment is replayable.
+    again = trace_from_stream(stream, mean_qps=2000.0, seed=9)
+    assert np.array_equal(trace.times, again.times)
+
+
+def test_trace_from_stream_window_subset():
+    stream = EventStream(StreamConfig(
+        n_domains=3, n_users=60, n_items=40, n_windows=4,
+        window_events=60, seed=5,
+    ))
+    trace = trace_from_stream(stream, mean_qps=1000.0, windows=(1, 3))
+    assert len(trace) == 2 * 60
+    assert np.array_equal(trace.users[:60], stream.window(1).users)
