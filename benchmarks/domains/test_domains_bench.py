@@ -1,0 +1,87 @@
+"""Domain-axis scaling benchmarks (train → publish → serve per cell).
+
+Two tiers mirror the serving harness:
+
+* ``domains_smoke`` — a sub-minute 1k-domain cell pair that CI runs on
+  every push: both backends finish the full pipeline, parity holds, and
+  the clustered backend's delta plane is a fraction of the dense one's;
+* ``domains`` — the fuller curve behind ``python -m repro.cli
+  domains-bench`` (1k/5k/10k dense+clustered, 50k clustered-only).
+
+Both merge their cells into ``BENCH_domains.json`` at the repo root and
+hard-fail if served scores stop matching offline materialization.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/domains -m domains_smoke -q
+    PYTHONPATH=src python -m pytest benchmarks/domains -m domains -q -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.domains_bench import (
+    render_domains_bench,
+    run_domains_bench,
+    write_bench_record,
+)
+
+BENCH_DOMAINS_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "BENCH_domains.json"
+)
+
+
+def _run_and_record(domain_counts, clusters, dense_limit):
+    record = run_domains_bench(
+        domain_counts=domain_counts, clusters=clusters,
+        dense_limit=dense_limit,
+    )
+    print("\n" + render_domains_bench(record))
+    write_bench_record(record, BENCH_DOMAINS_PATH)
+    for cell in record["cells"]:
+        label = f"{cell['backend']}/{cell['n_domains']}"
+        assert cell["serve_parity"], f"serving parity failed at {label}"
+        assert cell["served_domains"] > 0
+    return record
+
+
+def _by_backend(record, n_domains):
+    return {
+        cell["backend"]: cell for cell in record["cells"]
+        if cell["n_domains"] == n_domains
+    }
+
+
+@pytest.mark.domains_smoke
+def test_domains_smoke():
+    """1k domains through both backends: alive, parity, smaller plane."""
+    record = _run_and_record(
+        domain_counts=(1000,), clusters=64, dense_limit=1000,
+    )
+    cells = _by_backend(record, 1000)
+    assert set(cells) == {"dense", "clustered"}
+    dense, clustered = cells["dense"], cells["clustered"]
+    # the whole point of the clustered backend: far fewer work units and
+    # a delta plane that does not scale with n_domains
+    assert clustered["n_groups"] < dense["n_groups"] / 4
+    assert clustered["delta_plane_mb"] < dense["delta_plane_mb"] / 4
+    assert clustered["peak_rss_mb"] < dense["peak_rss_mb"]
+
+
+@pytest.mark.domains
+def test_domains_scaling_curve():
+    """The fuller curve: clustered memory must grow sublinearly."""
+    record = _run_and_record(
+        domain_counts=(1000, 5000, 10000), clusters=64, dense_limit=10000,
+    )
+    small = _by_backend(record, 1000)["clustered"]
+    large = _by_backend(record, 10000)["clustered"]
+    scale = 10000 / 1000
+    # sublinear: 10x the domains costs well under 10x the peak memory
+    assert large["peak_rss_mb"] < small["peak_rss_mb"] * scale * 0.5
+    # dense at 10k exists for comparison and must still hold parity
+    assert _by_backend(record, 10000)["dense"]["serve_parity"]

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli train --config session.json
     python -m repro.cli serve-bench [--batch-sizes 1,8,32] [--requests 1500]
     python -m repro.cli traffic-bench [--workers 1,2] [--requests 640]
+    python -m repro.cli domains-bench [--domain-counts 1000,5000,10000]
 
 Each ``run`` prints the same table the corresponding benchmark target
 emits, without pytest in the loop.  ``train`` drives a single
@@ -106,6 +107,9 @@ def build_parser():
     stats = commands.add_parser("stats", help="print a dataset's statistics")
     stats.add_argument("dataset", choices=sorted(BENCHMARK_BUILDERS))
     stats.add_argument("--scale", type=float, default=1.0)
+    stats.add_argument("--domains", type=int, default=30,
+                       help="domain count for the parameterized taobao_sim "
+                            "preset (default: 30)")
 
     train = commands.add_parser(
         "train",
@@ -161,6 +165,29 @@ def build_parser():
                               "the model, seed and training "
                               "hyper-parameters")
     traffic.add_argument("--verbose", action="store_true")
+
+    domains = commands.add_parser(
+        "domains-bench",
+        help="domain-axis scaling curve: train, publish and serve a "
+             "sparse-tail preset at 1k-50k domains with the dense and "
+             "clustered-sharded parameter backends, recording wall-time "
+             "and peak memory per cell",
+    )
+    domains.add_argument("--domain-counts", type=_seeds,
+                         default=(1000, 5000, 10000),
+                         help="comma-separated domain counts "
+                              "(default: 1000,5000,10000)")
+    domains.add_argument("--clusters", type=int, default=64,
+                         help="k-means cluster count for the clustered "
+                              "backend (default: 64)")
+    domains.add_argument("--dense-limit", type=int, default=10000,
+                         help="largest domain count the dense backend "
+                              "still runs at (default: 10000)")
+    domains.add_argument("--seed", type=int, default=0)
+    domains.add_argument("--out", default=None,
+                         help="benchmark journal path "
+                              "(default: BENCH_domains.json; '-' to skip)")
+    domains.add_argument("--verbose", action="store_true")
 
     online = commands.add_parser(
         "online-sim",
@@ -295,6 +322,29 @@ def _run_traffic_bench(args):
     return 0
 
 
+def _run_domains_bench(args):
+    from .core.domains_bench import (
+        DEFAULT_BENCH_PATH,
+        render_domains_bench,
+        run_domains_bench,
+        write_bench_record,
+    )
+
+    record = run_domains_bench(
+        domain_counts=args.domain_counts, clusters=args.clusters,
+        dense_limit=args.dense_limit, seed=args.seed, verbose=args.verbose,
+    )
+    print(render_domains_bench(record))
+    out = args.out if args.out is not None else DEFAULT_BENCH_PATH
+    if out != "-":
+        path = write_bench_record(record, out)
+        print(f"results appended to {path}")
+    if not all(cell["serve_parity"] for cell in record["cells"]):
+        print("serving/offline parity FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_online_sim(args):
     from dataclasses import replace
 
@@ -364,6 +414,9 @@ def main(argv=None):
     if args.command == "stats":
         if args.dataset == "taobao_online_sim":
             dataset = dataset_by_name(args.dataset)
+        elif args.dataset == "taobao_sim":
+            dataset = dataset_by_name(args.dataset, n_domains=args.domains,
+                                      scale=args.scale)
         else:
             dataset = dataset_by_name(args.dataset, scale=args.scale)
         print(per_domain_stats_table(dataset))
@@ -374,6 +427,8 @@ def main(argv=None):
         return _run_serve_bench(args)
     if args.command == "traffic-bench":
         return _run_traffic_bench(args)
+    if args.command == "domains-bench":
+        return _run_domains_bench(args)
     if args.command == "online-sim":
         return _run_online_sim(args)
     if args.command == "analyze":

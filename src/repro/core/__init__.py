@@ -2,14 +2,33 @@
 
 Domain Negotiation (Algorithm 1), Domain Regularization (Algorithm 2) and
 the unified MAMDR framework (Algorithm 3), plus the shared/specific
-parameter space (Eq. 4) and the training configuration.
+parameter plane (Eq. 4) and the training configuration.
+
+The parameter plane is the documented front door for anything touching
+per-domain parameters: the :class:`DomainParamStore` protocol with its
+two backends — :class:`DenseDomainStore` (one explicit delta per domain,
+the default) and :class:`ClusteredDomainStore` (tail domains share a
+cluster-level delta; scales the domain axis to 10k-50k) — wrapped by the
+:class:`DomainParameterSpace` façade.  Cluster plans come from
+:mod:`repro.core.clustering` (:func:`plan_clusters`).  Reaching into raw
+per-domain delta dicts outside ``param_space.py`` is rejected by the
+``theta-dict-access`` lint rule.
 """
 
+from .clustering import domain_features, identity_plan, kmeans, plan_clusters
 from .config import TrainConfig
 from .mamdr import MAMDR
 from .onboarding import extend_bank, onboard_domain
 from .negotiation import DomainNegotiation, domain_negotiation_epoch
-from .param_space import DomainParameterSpace, live_state_view
+from .param_space import (
+    ClusteredDomainStore,
+    ClusterPlan,
+    DenseDomainStore,
+    DomainGroup,
+    DomainParamStore,
+    DomainParameterSpace,
+    live_state_view,
+)
 from .selection import (
     BestTracker,
     PerDomainTracker,
@@ -26,6 +45,7 @@ from .regularization import (
 from .trainer import compute_loss_gradient, make_inner_optimizer, train_steps
 
 __all__ = [
+    # training frameworks + loops
     "TrainConfig",
     "MAMDR",
     "onboard_domain",
@@ -35,14 +55,27 @@ __all__ = [
     "DomainRegularization",
     "domain_regularization_round",
     "sample_helper_domains",
+    # the parameter plane (Eq. 4) and its storage protocol
     "DomainParameterSpace",
+    "DomainParamStore",
+    "DenseDomainStore",
+    "ClusteredDomainStore",
+    "ClusterPlan",
+    "DomainGroup",
     "live_state_view",
+    # domain clustering
+    "plan_clusters",
+    "identity_plan",
+    "domain_features",
+    "kmeans",
+    # model selection + evaluation
     "BestTracker",
     "PerDomainTracker",
     "domain_split_auc",
     "model_split_auc",
     "space_split_auc",
     "finetune_with_selection",
+    # inner-loop training
     "train_steps",
     "make_inner_optimizer",
     "compute_loss_gradient",

@@ -30,11 +30,19 @@ class MAMDR(LearningFramework):
     * ``use_dn=False`` replaces DN with plain alternate training of θ_S;
     * ``use_dr=False`` drops the specific deltas entirely (serving uses
       θ_S for every domain).
+
+    ``store`` selects the parameter backend: ``None`` keeps the dense
+    per-domain layout (bitwise-identical to the historical behaviour); a
+    ``DomainParamStore`` factory — e.g. ``lambda shared:
+    ClusteredDomainStore(shared, plan)`` — gates the DN/DR outer loops by
+    delta-sharing group instead of by domain, which is what makes
+    10k-50k domains tractable.
     """
 
-    def __init__(self, use_dn=True, use_dr=True):
+    def __init__(self, use_dn=True, use_dr=True, store=None):
         self.use_dn = use_dn
         self.use_dr = use_dr
+        self.store = store
 
     @property
     def name(self):
@@ -48,7 +56,11 @@ class MAMDR(LearningFramework):
 
     def fit(self, model, dataset, config, seed=0):
         rng = spawn_rng(seed, "mamdr", dataset.name, self.use_dn, self.use_dr)
-        space = DomainParameterSpace(model, dataset.n_domains)
+        space = DomainParameterSpace(model, dataset.n_domains,
+                                     store=self.store)
+        # DN/DR iterate the store's delta-sharing units: per domain for
+        # the dense backend, per cluster (+ heads) for the clustered one.
+        view, groups = space.training_plan(dataset)
         # With DR the deployment artifact is per-domain (Θ_i = θ_S + θ_i), so
         # each domain selects its best checkpoint independently, like the
         # other per-domain frameworks.  Without DR there is one shared state.
@@ -58,16 +70,17 @@ class MAMDR(LearningFramework):
 
         for _ in range(config.epochs):
             shared = self._update_shared(
-                model, dataset, space.shared, config, rng, shared_optimizer
+                model, view, space.shared, config, rng, shared_optimizer
             )
             space.set_shared(shared)
 
             if self.use_dr:
-                for domain_index in range(dataset.n_domains):
+                for position, group in enumerate(groups):
                     delta = domain_regularization_round(
-                        model, dataset, space, domain_index, config, rng
+                        model, view, space, position, config, rng,
+                        delta=space.group_delta(group),
                     )
-                    space.set_delta(domain_index, delta)
+                    space.apply_delta(group, delta)
                 per_domain_tracker.update_from_space(model, dataset, space)
             else:
                 model.load_state_dict(shared)

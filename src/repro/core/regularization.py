@@ -38,11 +38,18 @@ def sample_helper_domains(rng, n_domains, target, k):
 
 
 def domain_regularization_round(model, dataset, space, target, config, rng,
-                                split="train"):
-    """Run one DR round for ``target`` and return the new delta θ_target."""
+                                split="train", delta=None):
+    """Run one DR round for ``target`` and return the new delta θ_target.
+
+    ``target`` indexes a domain of ``dataset`` — which may be a cluster
+    *view* from ``space.training_plan``, in which case pass the group's
+    trainable delta via ``delta`` (the default reads the per-domain
+    delta, which is only correct when dataset domains and store domains
+    coincide).
+    """
     # Own the accumulator once, then apply every helper's Eq. 8 step in
     # place — k meta-steps, one state allocation.
-    delta = clone_state(space.delta(target))
+    delta = clone_state(space.delta(target) if delta is None else delta)
     helpers = sample_helper_domains(rng, dataset.n_domains, target, config.sample_k)
     target_table = getattr(dataset.domain(target), split)
 
@@ -77,28 +84,34 @@ class DomainRegularization(LearningFramework):
 
     name = "DR"
 
+    def __init__(self, store=None):
+        self.store = store
+
     def fit(self, model, dataset, config, seed=0):
         rng = spawn_rng(seed, "dr", dataset.name)
-        space = DomainParameterSpace(model, dataset.n_domains)
+        space = DomainParameterSpace(model, dataset.n_domains,
+                                     store=self.store)
+        view, groups = space.training_plan(dataset)
         tracker = PerDomainTracker(dataset.n_domains)
         optimizer = make_inner_optimizer(model, config)
 
         for _ in range(config.epochs):
             # Alternate training of the shared state (DN is ablated away).
             model.load_state_dict(space.shared)
-            order = list(range(dataset.n_domains))
+            order = list(range(view.n_domains))
             rng.shuffle(order)
             for domain_index in order:
-                domain = dataset.domain(domain_index)
+                domain = view.domain(domain_index)
                 train_steps(model, domain.train, domain_index, optimizer, rng,
                             config.batch_size, config.inner_steps)
             space.set_shared(model.state_dict())
 
-            for domain_index in range(dataset.n_domains):
+            for position, group in enumerate(groups):
                 new_delta = domain_regularization_round(
-                    model, dataset, space, domain_index, config, rng
+                    model, view, space, position, config, rng,
+                    delta=space.group_delta(group),
                 )
-                space.set_delta(domain_index, new_delta)
+                space.apply_delta(group, new_delta)
 
             tracker.update_from_space(model, dataset, space)
 

@@ -10,6 +10,7 @@ from .benchmarks import (
     amazon6_sim,
     amazon13_sim,
     dataset_by_name,
+    taobao_sim,
     taobao10_sim,
     taobao20_sim,
     taobao30_sim,
@@ -38,6 +39,7 @@ __all__ = [
     "generate_dataset",
     "amazon6_sim",
     "amazon13_sim",
+    "taobao_sim",
     "taobao10_sim",
     "taobao20_sim",
     "taobao30_sim",

@@ -13,6 +13,8 @@ features (standing in for the paper's frozen GraphSage features).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..utils.seeding import spawn_rng
@@ -21,6 +23,7 @@ from .synthetic import DomainSpec, SyntheticConfig, generate_dataset
 __all__ = [
     "amazon6_sim",
     "amazon13_sim",
+    "taobao_sim",
     "taobao10_sim",
     "taobao20_sim",
     "taobao30_sim",
@@ -73,13 +76,13 @@ _TAOBAO30 = [
 _MIN_DOMAIN_SAMPLES = 40
 
 
-def _specs_from_shares(entries, total_samples):
+def _specs_from_shares(entries, total_samples, min_samples=_MIN_DOMAIN_SAMPLES):
     """Turn (name, share, ctr) rows into DomainSpecs with a sparsity floor."""
     total_share = sum(share for _, share, _ in entries)
     specs = []
     for name, share, ctr in entries:
         n = int(round(total_samples * share / total_share))
-        specs.append(DomainSpec(name, max(n, _MIN_DOMAIN_SAMPLES), ctr))
+        specs.append(DomainSpec(name, max(n, min_samples), ctr))
     return tuple(specs)
 
 
@@ -111,13 +114,54 @@ def amazon13_sim(scale=1.0, seed=0):
     ))
 
 
-def _taobao_sim(name, n_domains, scale, seed):
-    total = int(11_000 * scale * n_domains / 30)
+def _taobao_entries(n_domains):
+    """(name, share, ctr) rows for ``n_domains`` Cloud-Theme-like domains.
+
+    The first 30 come straight from Table IV; beyond that the table is
+    extended with a deterministic heavy tail — each extra domain ``D{i}``
+    gets a polynomially decaying share and cycles the table's CTR ratios
+    — so arbitrarily large domain counts keep the preset's shape without
+    any RNG (the extension is a pure function of the index).
+    """
+    entries = list(_TAOBAO30[:min(n_domains, 30)])
+    for i in range(30, n_domains):
+        share = 0.004 / (i - 28) ** 1.05
+        ctr = _TAOBAO30[i % 30][2]
+        entries.append((f"D{i + 1}", share, ctr))
+    return entries
+
+
+def taobao_sim(n_domains, scale=1.0, seed=0, total_samples=None,
+               n_users=None, n_items=None, min_domain_samples=None,
+               name=None):
+    """Parameterized Taobao analogue: ``n_domains`` Cloud-Theme domains.
+
+    The single front door for the Taobao-10/20/30 presets (``n_domains``
+    of 10/20/30 with everything else defaulted is bitwise-identical to
+    the historical builders) *and* for the 10k-50k domain-scaling runs,
+    which override ``total_samples`` / ``min_domain_samples`` to keep the
+    tail sparse instead of letting the per-domain floor multiply.
+    """
+    if n_domains < 1:
+        raise ValueError("need at least one domain")
+    if name is None:
+        name = f"taobao{n_domains}_sim"
+    if total_samples is None:
+        total_samples = int(11_000 * scale * n_domains / 30)
+    if n_users is None:
+        n_users = int(700 * scale * n_domains / 30) + 150
+    if n_items is None:
+        n_items = int(400 * scale * n_domains / 30) + 100
+    if min_domain_samples is None:
+        min_domain_samples = _MIN_DOMAIN_SAMPLES
     return generate_dataset(SyntheticConfig(
         name=name,
-        domains=_specs_from_shares(_TAOBAO30[:n_domains], total),
-        n_users=int(700 * scale * n_domains / 30) + 150,
-        n_items=int(400 * scale * n_domains / 30) + 100,
+        domains=_specs_from_shares(
+            _taobao_entries(n_domains), total_samples,
+            min_samples=min_domain_samples,
+        ),
+        n_users=n_users,
+        n_items=n_items,
         feature_mode="fixed",
         feature_dim=16,
         conflict=0.65,
@@ -125,19 +169,26 @@ def _taobao_sim(name, n_domains, scale, seed):
     ))
 
 
-def taobao10_sim(scale=1.0, seed=0):
-    """Taobao-10 analogue: first 10 Cloud-Theme domains, frozen features."""
-    return _taobao_sim("taobao10_sim", 10, scale, seed)
+def _deprecated_taobao_shim(n_domains):
+    def shim(scale=1.0, seed=0):
+        warnings.warn(
+            f"taobao{n_domains}_sim is deprecated; call "
+            f"taobao_sim({n_domains}, ...) instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return taobao_sim(n_domains, scale=scale, seed=seed)
+
+    shim.__name__ = f"taobao{n_domains}_sim"
+    shim.__doc__ = (
+        f"Deprecated alias of ``taobao_sim({n_domains}, ...)`` "
+        "(bitwise-identical output)."
+    )
+    return shim
 
 
-def taobao20_sim(scale=1.0, seed=0):
-    """Taobao-20 analogue: first 20 Cloud-Theme domains."""
-    return _taobao_sim("taobao20_sim", 20, scale, seed)
-
-
-def taobao30_sim(scale=1.0, seed=0):
-    """Taobao-30 analogue: all 30 Cloud-Theme domains."""
-    return _taobao_sim("taobao30_sim", 30, scale, seed)
+taobao10_sim = _deprecated_taobao_shim(10)
+taobao20_sim = _deprecated_taobao_shim(20)
+taobao30_sim = _deprecated_taobao_shim(30)
 
 
 def taobao_online_sim(n_domains=60, total_samples=30_000, seed=0,
@@ -170,12 +221,24 @@ def taobao_online_sim(n_domains=60, total_samples=30_000, seed=0,
     ))
 
 
+def _taobao_preset(n_domains):
+    # Registry entries stay warning-free: the string names are the stable
+    # preset vocabulary (configs, CLI, saved results); only the module-level
+    # shim *functions* are deprecated.
+    def build(scale=1.0, seed=0):
+        return taobao_sim(n_domains, scale=scale, seed=seed)
+
+    build.__name__ = f"taobao{n_domains}_sim_preset"
+    return build
+
+
 BENCHMARK_BUILDERS = {
     "amazon6_sim": amazon6_sim,
     "amazon13_sim": amazon13_sim,
-    "taobao10_sim": taobao10_sim,
-    "taobao20_sim": taobao20_sim,
-    "taobao30_sim": taobao30_sim,
+    "taobao_sim": taobao_sim,
+    "taobao10_sim": _taobao_preset(10),
+    "taobao20_sim": _taobao_preset(20),
+    "taobao30_sim": _taobao_preset(30),
     "taobao_online_sim": taobao_online_sim,
 }
 

@@ -159,16 +159,25 @@ class MultiDomainDataset:
         """Array of per-domain interaction counts."""
         return np.array([len(getattr(d, split)) for d in self.domains])
 
+    def _active_ids(self, column):
+        # Incremental per-domain union: peak memory is one domain's ids
+        # plus the running unique set, not a full-size concatenated copy
+        # of every interaction — the difference between fine and fatal at
+        # 10k+ domains.
+        active = np.empty(0, dtype=np.int64)
+        for domain in self.domains:
+            ids = np.concatenate([
+                getattr(domain.train, column),
+                getattr(domain.val, column),
+                getattr(domain.test, column),
+            ])
+            active = np.union1d(active, ids)
+        return active
+
     def active_users(self):
         """Number of distinct users appearing in any interaction."""
-        return len(np.unique(np.concatenate([
-            np.concatenate([d.train.users, d.val.users, d.test.users])
-            for d in self.domains
-        ])))
+        return len(self._active_ids("users"))
 
     def active_items(self):
         """Number of distinct items appearing in any interaction."""
-        return len(np.unique(np.concatenate([
-            np.concatenate([d.train.items, d.val.items, d.test.items])
-            for d in self.domains
-        ])))
+        return len(self._active_ids("items"))

@@ -55,22 +55,46 @@ from .worker import Worker, embedding_field_map, embedding_parameter_names
 __all__ = ["SimulatedCluster", "shard_domains", "reassign_domains"]
 
 
-def shard_domains(dataset, n_workers):
+def shard_domains(dataset, n_workers, clusters=None):
     """Greedy balanced sharding: heaviest domains to the lightest worker.
 
     Deterministic throughout: domains are ordered by (size desc, index
     asc) — the explicit index tie-break keeps equal-size domains stable —
     and load ties go to the lowest-indexed worker.
+
+    With ``clusters`` (a :class:`~repro.core.param_space.ClusterPlan`) the
+    unit of placement becomes the *cluster*: all domains sharing a
+    cluster-level delta land on the same worker (heaviest cluster first,
+    to the lightest worker), so cluster-gated DR never needs a
+    cross-worker delta merge.  Within a shard, a cluster's members keep
+    the (size desc, index asc) order.
     """
     if n_workers <= 0:
         raise ValueError("need at least one worker")
     shards = [[] for _ in range(n_workers)]
     loads = [0] * n_workers
     by_size = sorted(dataset.domains, key=lambda d: (-len(d.train), d.index))
-    for domain in by_size:
+    if clusters is None:
+        units = [((domain.index,), len(domain.train)) for domain in by_size]
+    else:
+        members = {}
+        for domain in by_size:
+            cluster = clusters.cluster_of(domain.index)
+            members.setdefault(cluster, []).append(domain)
+        units = sorted(
+            (
+                (
+                    tuple(d.index for d in group),
+                    sum(len(d.train) for d in group),
+                )
+                for group in members.values()
+            ),
+            key=lambda unit: (-unit[1], unit[0]),
+        )
+    for indices, load in units:
         lightest = loads.index(min(loads))
-        shards[lightest].append(domain.index)
-        loads[lightest] += len(domain.train)
+        shards[lightest].extend(indices)
+        loads[lightest] += load
     return shards
 
 
@@ -155,18 +179,24 @@ class SimulatedCluster:
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
-    def run(self, model_factory, dataset, config, seed=0, use_dr=False):
+    def run(self, model_factory, dataset, config, seed=0, use_dr=False,
+            store=None, clusters=None):
         """Train on the cluster; returns a deployable model bank.
 
         ``model_factory(worker_id) -> model`` builds one replica per worker
         plus the driver's evaluation replica (worker_id ``"driver"``).  With
         ``use_dr=True`` the driver additionally trains per-domain specific
         deltas with DR on top of the PS shared state (full MAMDR).
+        ``store`` selects the driver-side parameter backend (see
+        :class:`~repro.core.param_space.DomainParameterSpace`); ``clusters``
+        (a ``ClusterPlan``) additionally shards whole clusters so
+        delta-sharing domains stay co-located.
         """
         rng = spawn_rng(seed, "cluster", dataset.name)
         return self._execute(model_factory, dataset, config, rng,
                              use_dr=use_dr, start_epoch=0,
-                             tracker=BestTracker())
+                             tracker=BestTracker(), store=store,
+                             clusters=clusters)
 
     def fit(self, model_factory, dataset, config, seed=0, use_dr=False):
         """Deprecated pre-transport entrypoint; thin shim over :meth:`run`."""
@@ -204,7 +234,8 @@ class SimulatedCluster:
     # Driver loop
     # ------------------------------------------------------------------
     def _execute(self, model_factory, dataset, config, rng, use_dr,
-                 start_epoch, tracker, restore=None):
+                 start_epoch, tracker, restore=None, store=None,
+                 clusters=None):
         driver_model = model_factory("driver")
         embedding_names = embedding_parameter_names(driver_model)
         self.clock = VirtualClock()
@@ -223,7 +254,7 @@ class SimulatedCluster:
         if restore is not None:
             self.ps.restore(restore.state, restore.version,
                             restore.optimizer_slots)
-        shards = shard_domains(dataset, self.n_workers)
+        shards = shard_domains(dataset, self.n_workers, clusters=clusters)
         field_map = embedding_field_map(driver_model) if embedding_names else {}
         self.workers = [
             Worker(i, model_factory(i), shard,
@@ -264,16 +295,20 @@ class SimulatedCluster:
         if not use_dr:
             return SingleModelBank(driver_model)
 
-        # Full MAMDR: DR for the specific deltas, run driver-side.
-        space = DomainParameterSpace(driver_model, dataset.n_domains)
+        # Full MAMDR: DR for the specific deltas, run driver-side and
+        # gated by the store's delta-sharing groups.
+        space = DomainParameterSpace(driver_model, dataset.n_domains,
+                                     store=store)
         space.set_shared(shared)
+        view, groups = space.training_plan(dataset)
         dr_tracker = PerDomainTracker(dataset.n_domains)
         for _ in range(config.epochs):
-            for domain_index in range(dataset.n_domains):
+            for position, group in enumerate(groups):
                 delta = domain_regularization_round(
-                    driver_model, dataset, space, domain_index, config, rng
+                    driver_model, view, space, position, config, rng,
+                    delta=space.group_delta(group),
                 )
-                space.set_delta(domain_index, delta)
+                space.apply_delta(group, delta)
             dr_tracker.update_from_space(driver_model, dataset, space)
         return StateBank(driver_model, dr_tracker.best_states(),
                          default_state=space.shared)

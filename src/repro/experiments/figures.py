@@ -43,7 +43,7 @@ def run_fig8(scale=1.0, seeds=(0,), config=None,
     for k in sample_numbers:
         aucs = []
         for seed in seeds:
-            dataset = benchmarks.taobao30_sim(scale=scale, seed=seed)
+            dataset = benchmarks.taobao_sim(30, scale=scale, seed=seed)
             spec = MethodSpec(f"k={k}", model="mlp", framework="mamdr",
                               config_overrides={"sample_k": k})
             aucs.append(run_method(spec, dataset, config=base, seed=seed).mean_auc)
@@ -71,7 +71,7 @@ def run_fig9(scale=1.0, seeds=(0,), config=None, inner_lrs=FIG9_INNER_LRS,
         for beta in outer_lrs:
             aucs = []
             for seed in seeds:
-                dataset = benchmarks.taobao10_sim(scale=scale, seed=seed)
+                dataset = benchmarks.taobao_sim(10, scale=scale, seed=seed)
                 spec = MethodSpec(
                     f"a={alpha:g},b={beta:g}", model="mlp", framework="dn",
                     config_overrides={"inner_lr": alpha, "outer_lr": beta},

@@ -48,7 +48,7 @@ def run_table10(scale=1.0, seeds=(0,), config=None, models=TABLE10_MODELS,
             print(f"[table10] model={model_name}")
         results[model_name] = run_comparison_averaged(
             specs,
-            lambda seed: benchmarks.taobao10_sim(scale=scale, seed=seed),
+            lambda seed: benchmarks.taobao_sim(10, scale=scale, seed=seed),
             seeds, config=config, verbose=verbose,
         )
     return results

@@ -52,9 +52,17 @@ class StateBank(DomainModelBank):
 
     def __init__(self, model, domain_states, default_state=None):
         self.model = model
-        self.domain_states = {
-            domain: clone_state(state) for domain, state in domain_states.items()
-        }
+        # Domains sharing a state object (a clustered space's tail, or the
+        # no-DR "same state everywhere" bank) share one clone — the bank
+        # costs one copy per *distinct* state, not per domain.
+        memo = {}
+        self.domain_states = {}
+        for domain, state in domain_states.items():
+            cloned = memo.get(id(state))
+            if cloned is None:
+                cloned = clone_state(state)
+                memo[id(state)] = cloned
+            self.domain_states[domain] = cloned
         self.default_state = (
             clone_state(default_state) if default_state is not None else None
         )

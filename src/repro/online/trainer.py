@@ -100,7 +100,8 @@ def space_from_snapshot(model, snapshot):
     as ``Θ_i − θ_S``, so ``space.combined(i)`` reproduces the served
     states exactly (the subtraction-then-addition round-trips bitwise for
     the zero-delta entries and is exact for entries published as
-    ``θ_S + θ_i`` from float64 states).
+    ``θ_S + θ_i`` from float64 states).  Domains published with a shared
+    state object (a clustered space's tail) compute the subtraction once.
     """
     if snapshot.default_state is None:
         raise ValueError(
@@ -108,10 +109,14 @@ def space_from_snapshot(model, snapshot):
         )
     space = DomainParameterSpace(model, n_domains=len(snapshot.states))
     space.set_shared(snapshot.default_state)
+    memo = {}
     for domain in snapshot.domains:
-        space.set_delta(domain, state_sub(
-            snapshot.state_for(domain), snapshot.default_state
-        ))
+        state = snapshot.state_for(domain)
+        delta = memo.get(id(state))
+        if delta is None:
+            delta = state_sub(state, snapshot.default_state)
+            memo[id(state)] = delta
+        space.set_delta(domain, delta)
     return space
 
 
@@ -135,7 +140,8 @@ class IncrementalTrainer:
     def __init__(self, model, n_domains, config, *, backend="local",
                  replica_factory=None, n_workers=2, replay_capacity=1200,
                  holdout_frac=0.25, holdout_capacity=200,
-                 dataset_name="online", n_users=None, n_items=None, seed=0):
+                 dataset_name="online", n_users=None, n_items=None, seed=0,
+                 store=None):
         if backend not in ("local", "cluster"):
             raise ValueError(f"unknown backend {backend!r}")
         if backend == "cluster" and replica_factory is None:
@@ -157,7 +163,7 @@ class IncrementalTrainer:
         self.n_users = n_users
         self.n_items = n_items
         self.seed = seed
-        self.space = DomainParameterSpace(model, n_domains)
+        self.space = DomainParameterSpace(model, n_domains, store=store)
         self.replay = ReplayBuffer(replay_capacity)
         self.holdouts = {}        # domain -> newest two-class holdout table
         self.holdout_watermarks = {}
@@ -247,21 +253,19 @@ class IncrementalTrainer:
         same space, data and key produce a byte-identical update.
         """
         dataset = self.window_dataset()
+        view, groups = self.space.training_plan(dataset)
         rng = spawn_rng(self.seed, "online", "update", key)
         start = profiling.tick()
-        shared = self._update_shared(dataset, key, rng)
+        shared = self._update_shared(view, key, rng)
         self.space.set_shared(shared)
-        for domain_index in range(self.n_domains):
+        for position, group in enumerate(groups):
             delta = domain_regularization_round(
-                self.model, dataset, self.space, domain_index, self.config,
-                rng,
+                self.model, view, self.space, position, self.config, rng,
+                delta=self.space.group_delta(group),
             )
-            self.space.set_delta(domain_index, delta)
+            self.space.apply_delta(group, delta)
         profiling.tock("online.update", start)
-        states = {
-            domain: self.space.combined(domain)
-            for domain in range(self.n_domains)
-        }
+        states = self.space.all_combined()
         return OnlineUpdate(
             key=key, dataset=dataset, states=states,
             default_state=clone_state(self.space.shared),

@@ -58,28 +58,32 @@ def make_serving_dataset(n_domains=5, seed=1):
     ))
 
 
-def train_space(model, dataset, config, seed=0):
+def train_space(model, dataset, config, seed=0, store=None):
     """A compact MAMDR (DN + DR) training loop producing the space itself.
 
     ``MAMDR.fit`` returns the deployable best-checkpoint bank; serving
     publishes from the *space* (θ_S + deltas) so the copy-on-write
-    materialization has real shared structure to exploit.
+    materialization has real shared structure to exploit.  ``store``
+    selects the parameter backend; training is gated by the store's
+    delta-sharing groups either way.
     """
     rng = spawn_rng(seed, "serve-bench", "train", dataset.name)
-    space = DomainParameterSpace(model, dataset.n_domains)
+    space = DomainParameterSpace(model, dataset.n_domains, store=store)
+    view, groups = space.training_plan(dataset)
     optimizer = make_inner_optimizer(model, config)
     for _ in range(config.epochs):
         shared = space.shared
         for _ in range(config.dn_rounds):
             shared = domain_negotiation_epoch(
-                model, dataset, shared, config, rng, optimizer=optimizer
+                model, view, shared, config, rng, optimizer=optimizer
             )
         space.set_shared(shared)
-        for domain_index in range(dataset.n_domains):
+        for position, group in enumerate(groups):
             delta = domain_regularization_round(
-                model, dataset, space, domain_index, config, rng
+                model, view, space, position, config, rng,
+                delta=space.group_delta(group),
             )
-            space.set_delta(domain_index, delta)
+            space.apply_delta(group, delta)
     return space
 
 

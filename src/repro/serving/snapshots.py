@@ -108,10 +108,19 @@ class ModelSnapshot:
         return np.sort(hot[counts[hot] > 0]).astype(np.int64)
 
     def cow_stats(self):
-        """How much publishing saved: aliased vs. copied per-domain arrays."""
+        """How much publishing saved: aliased vs. copied per-domain arrays.
+
+        ``aliased_arrays``/``copied_arrays`` count per *domain* entry (the
+        serving view); ``unique_states``/``copied_bytes`` deduplicate by
+        state object, so domains sharing a cluster-level state (the
+        clustered backend's tail) are charged once.
+        """
         aliased = copied = 0
-        bytes_saved = 0
+        bytes_saved = copied_bytes = 0
+        seen_states = set()
         for state in self.states.values():
+            first_visit = id(state) not in seen_states
+            seen_states.add(id(state))
             for name, value in state.items():
                 base = (
                     self.default_state.get(name)
@@ -122,10 +131,14 @@ class ModelSnapshot:
                     bytes_saved += value.nbytes
                 else:
                     copied += 1
+                    if first_visit:
+                        copied_bytes += value.nbytes
         return {
             "aliased_arrays": aliased,
             "copied_arrays": copied,
             "bytes_saved": bytes_saved,
+            "unique_states": len(seen_states),
+            "copied_bytes": copied_bytes,
         }
 
 
@@ -158,19 +171,23 @@ class SnapshotStore:
         """Materialize and hot-swap a :class:`DomainParameterSpace`.
 
         Copy-on-write against a frozen copy of ``θ_S``: zero-delta entries
-        alias the shared array (see module docstring).
+        alias the shared array (see module docstring).  Materialization is
+        delegated to the space's storage backend via ``cow_states``, which
+        yields one state per delta-sharing group — a clustered space with
+        10k tail domains in 64 clusters publishes 64 states, and every
+        member domain maps to its group's (frozen, shared) state object.
         """
         shared = OrderedDict(
             (name, _freeze(value.copy())) for name, value in space.shared.items()
         )
         states = {}
-        for domain in range(space.n_domains):
-            delta = space.delta(domain)
-            states[domain] = OrderedDict(
-                (name, base if not delta[name].any()
-                 else _freeze(base + delta[name]))
-                for name, base in shared.items()
+        for domains, state in space.cow_states(shared):
+            frozen = OrderedDict(
+                (name, value if value is shared[name] else _freeze(value))
+                for name, value in state.items()
             )
+            for domain in domains:
+                states[domain] = frozen
         return self._install(states, shared, access_counts, metadata)
 
     def publish_states(self, domain_states, default_state=None,

@@ -86,3 +86,67 @@ def test_overall_stats_row_fields(small_amazon6):
     total = row["#Train"] + row["#Val"] + row["#Test"]
     assert row["Sample/Domain"] == total // 6
     assert row["#User"] > 0 and row["#Item"] > 0
+
+
+# ----------------------------------------------------------------------
+# The parameterized taobao_sim front door and its deprecation shims
+# ----------------------------------------------------------------------
+def test_taobao_sim_shims_are_bitwise_identical():
+    from repro.data import taobao_sim
+
+    for n in (10, 20):
+        with pytest.warns(DeprecationWarning, match=f"taobao_sim\\({n}"):
+            legacy = {10: taobao10_sim, 20: taobao20_sim}[n](
+                scale=0.3, seed=2
+            )
+        fresh = taobao_sim(n, scale=0.3, seed=2)
+        assert fresh.name == legacy.name == f"taobao{n}_sim"
+        np.testing.assert_array_equal(
+            fresh.item_features, legacy.item_features
+        )
+        for lhs, rhs in zip(fresh.domains, legacy.domains):
+            for split in ("train", "val", "test"):
+                a, b = getattr(lhs, split), getattr(rhs, split)
+                np.testing.assert_array_equal(a.users, b.users)
+                np.testing.assert_array_equal(a.items, b.items)
+                np.testing.assert_array_equal(a.labels, b.labels)
+
+
+def test_taobao_sim_registry_names_stay_warning_free():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        ds = dataset_by_name("taobao10_sim", scale=0.3)
+    assert ds.n_domains == 10
+
+
+def test_taobao_sim_extends_table_deterministically():
+    from repro.data.benchmarks import _taobao_entries
+
+    entries = _taobao_entries(35)
+    assert [name for name, _, _ in entries[:30]] == \
+        [name for name, _, _ in _TAOBAO30]
+    tail = entries[30:]
+    assert [name for name, _, _ in tail] == [f"D{i}" for i in range(31, 36)]
+    shares = [share for _, share, _ in tail]
+    assert shares == sorted(shares, reverse=True)       # decaying tail
+    # CTRs cycle the table — pure function of the index, no RNG
+    assert [ctr for _, _, ctr in tail] == \
+        [_TAOBAO30[i % 30][2] for i in range(30, 35)]
+    assert _taobao_entries(35) == entries
+
+
+def test_taobao_sim_overrides_control_scale():
+    from repro.data import taobao_sim
+
+    ds = taobao_sim(
+        40, total_samples=40 * 12, n_users=300, n_items=200,
+        min_domain_samples=18, name="tiny40",
+    )
+    assert ds.name == "tiny40"
+    assert ds.n_domains == 40
+    assert ds.n_users == 300 and ds.n_items == 200
+    assert min(d.num_samples for d in ds.domains) >= 18
+    with pytest.raises(ValueError):
+        taobao_sim(0)
