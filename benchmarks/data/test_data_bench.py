@@ -1,0 +1,92 @@
+"""Columnar data-plane benchmarks (write → open → epoch per cell).
+
+Two tiers mirror the other bench harnesses:
+
+* ``data_smoke`` — a scaled-down sweep (1e5 → 1e6 events) that CI runs
+  on every push: the O(1)-open contract, the throughput floor and the
+  RSS-constancy assertion all hold at small scale in seconds;
+* ``data`` — the paper-scale sweep behind ``python -m repro.cli
+  data-bench`` (1e6 → 1e8 events, a multi-GB on-disk file), gated on
+  the ROADMAP budget: ≥1e7 events/s load+epoch with the large cell's
+  live peak RSS within 2x of the small one's.
+
+Both merge their cells into ``BENCH_data.json`` at the repo root.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/data -m data_smoke -q
+    PYTHONPATH=src python -m pytest benchmarks/data -m data -q -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.data.databench import (
+    EVENTS_PER_S_TARGET,
+    RSS_RATIO_LIMIT,
+    check_data_bench,
+    render_data_bench,
+    run_data_bench,
+    write_bench_record,
+)
+
+BENCH_DATA_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "BENCH_data.json"
+)
+
+
+def _run_and_record(event_counts, tmp_path, record_journal=False):
+    record = run_data_bench(
+        event_counts=event_counts, workdir=str(tmp_path),
+    )
+    print("\n" + render_data_bench(record))
+    if record_journal:
+        write_bench_record(record, BENCH_DATA_PATH)
+    return record
+
+
+@pytest.mark.data_smoke
+def test_data_smoke(tmp_path):
+    """1e5 → 1e6 events: O(1) open, throughput floor, flat RSS."""
+    record = _run_and_record((100_000, 1_000_000), tmp_path)
+    small, large = sorted(record["cells"], key=lambda c: c["n_events"])
+    # Opening maps the header only — it must not scale with the payload
+    # (both opens finish in well under a millisecond; allow 50ms of CI
+    # scheduling noise).
+    assert large["open_s"] < 0.05
+    # The throughput floor holds even at smoke scale: these files fit in
+    # page cache, so anything slower means per-row Python crept in.
+    assert large["events_per_s"] >= EVENTS_PER_S_TARGET, (
+        f"{large['events_per_s']:,.0f} ev/s at {large['n_events']:,} "
+        f"events is below the {EVENTS_PER_S_TARGET:,} floor"
+    )
+    # RSS constancy: 10x the data must not move the live peak beyond the
+    # acceptance ratio.
+    assert small["peak_rss_mb"] > 0
+    ratio = large["peak_rss_mb"] / small["peak_rss_mb"]
+    assert ratio <= RSS_RATIO_LIMIT, (
+        f"peak RSS grew {ratio:.2f}x across a 10x size step "
+        f"(limit {RSS_RATIO_LIMIT}x)"
+    )
+    verdict = check_data_bench(record)
+    assert verdict["ok"], verdict["failures"]
+
+
+@pytest.mark.data
+def test_data_full_scale(tmp_path):
+    """The acceptance sweep: 1e6 → 1e8 events on disk.
+
+    Writes ~2.3 GB and takes a few minutes; this is the run that records
+    the headline cells of ``BENCH_data.json``.
+    """
+    record = _run_and_record(
+        (1_000_000, 100_000_000), tmp_path, record_journal=True,
+    )
+    verdict = check_data_bench(record)
+    assert verdict["ok"], verdict["failures"]
+    large = max(record["cells"], key=lambda c: c["n_events"])
+    assert large["events_per_s"] >= EVENTS_PER_S_TARGET

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli serve-bench [--batch-sizes 1,8,32] [--requests 1500]
     python -m repro.cli traffic-bench [--workers 1,2] [--requests 640]
     python -m repro.cli domains-bench [--domain-counts 1000,5000,10000]
+    python -m repro.cli data-bench [--event-counts 1000000,100000000]
 
 Each ``run`` prints the same table the corresponding benchmark target
 emits, without pytest in the loop.  ``train`` drives a single
@@ -189,6 +190,29 @@ def build_parser():
                               "(default: BENCH_domains.json; '-' to skip)")
     domains.add_argument("--verbose", action="store_true")
 
+    data = commands.add_parser(
+        "data-bench",
+        help="columnar data-plane sweep: write a synthetic multi-domain "
+             "event file per size point, map it in O(1) and stream one "
+             "full epoch, recording throughput and live peak RSS",
+    )
+    data.add_argument("--event-counts", type=_seeds,
+                      default=(1_000_000, 100_000_000),
+                      help="comma-separated event counts "
+                           "(default: 1000000,100000000)")
+    data.add_argument("--batch-size", type=int, default=65536,
+                      help="epoch iteration batch size (default: 65536)")
+    data.add_argument("--release-every-rows", type=int, default=1 << 20,
+                      help="rows between madvise page releases "
+                           "(default: 1048576)")
+    data.add_argument("--workdir", default=".",
+                      help="directory for the generated files (default: .)")
+    data.add_argument("--seed", type=int, default=0)
+    data.add_argument("--out", default=None,
+                      help="benchmark journal path "
+                           "(default: BENCH_data.json; '-' to skip)")
+    data.add_argument("--verbose", action="store_true")
+
     online = commands.add_parser(
         "online-sim",
         help="run the continual-learning pipeline on a drifted event "
@@ -345,6 +369,32 @@ def _run_domains_bench(args):
     return 0
 
 
+def _run_data_bench(args):
+    from .data.databench import (
+        DEFAULT_BENCH_PATH,
+        check_data_bench,
+        render_data_bench,
+        run_data_bench,
+        write_bench_record,
+    )
+
+    record = run_data_bench(
+        event_counts=args.event_counts, batch_size=args.batch_size,
+        release_every_rows=args.release_every_rows, workdir=args.workdir,
+        seed=args.seed, verbose=args.verbose,
+    )
+    print(render_data_bench(record))
+    out = args.out if args.out is not None else DEFAULT_BENCH_PATH
+    if out != "-":
+        path = write_bench_record(record, out)
+        print(f"results appended to {path}")
+    verdict = check_data_bench(record)
+    if not verdict["ok"]:
+        print("data-bench acceptance FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_online_sim(args):
     from dataclasses import replace
 
@@ -429,6 +479,8 @@ def main(argv=None):
         return _run_traffic_bench(args)
     if args.command == "domains-bench":
         return _run_domains_bench(args)
+    if args.command == "data-bench":
+        return _run_data_bench(args)
     if args.command == "online-sim":
         return _run_online_sim(args)
     if args.command == "analyze":

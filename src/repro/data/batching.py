@@ -10,7 +10,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Batch", "iter_minibatches", "full_batch"]
+__all__ = ["Batch", "iter_minibatches", "full_batch", "iter_store_batches"]
 
 
 @dataclass(frozen=True)
@@ -73,3 +73,40 @@ def sample_batch(table, domain, batch_size, rng):
 def full_batch(table, domain):
     """The whole table as one batch (used for evaluation)."""
     return Batch(table.users, table.items, table.labels, domain)
+
+
+def iter_store_batches(store, batch_size, *, split=None,
+                       release_every_rows=4 << 20):
+    """Epoch pass over an :class:`~repro.data.columnar.InteractionStore`.
+
+    Walks extents in file order and yields zero-copy :class:`Batch`
+    slices; each batch's ``domain`` comes from its extent's metadata
+    (``index`` key, or -1 for unpartitioned extents).  ``split`` filters
+    dataset extents by split name.
+
+    Every ``release_every_rows`` rows the store's :meth:`release` hook
+    runs, handing resident payload pages back to the OS — on a
+    memory-mapped backend this is what keeps an epoch over a 1e8-row
+    file at a flat RSS (~one release window, not the dataset).  The
+    cadence default (4M rows ≈ 70 MB of mapped columns) amortizes the
+    syscall to noise while bounding residency well under typical RAM.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    since_release = 0
+    for extent in store.extents:
+        if split is not None and extent.meta.get("split") != split:
+            continue
+        domain = int(extent.meta.get("index", -1))
+        for start in range(extent.start, extent.stop, batch_size):
+            stop = min(start + batch_size, extent.stop)
+            yield Batch(
+                store.columns["users"][start:stop],
+                store.columns["items"][start:stop],
+                store.columns["labels"][start:stop],
+                domain,
+            )
+            since_release += stop - start
+            if since_release >= release_every_rows:
+                store.release()
+                since_release = 0

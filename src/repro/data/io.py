@@ -34,8 +34,12 @@ def save_interactions_csv(path, dataset):
                 table = getattr(domain, split)
                 for user, item, label in zip(table.users, table.items,
                                              table.labels):
+                    # repr() round-trips float64 exactly; int() would
+                    # silently truncate non-binary labels (ratings,
+                    # soft labels) that the loader parses as float.
                     writer.writerow(
-                        [domain.name, int(user), int(item), int(label), split]
+                        [domain.name, int(user), int(item),
+                         repr(float(label)), split]
                     )
 
 

@@ -15,7 +15,60 @@ __all__ = [
     "pos_neg_counts",
     "sample_positive_pairs",
     "sample_negative_pairs",
+    "pack_pairs",
 ]
+
+_KEY_LIMIT = 1 << 32
+
+
+def pack_pairs(users, items):
+    """Pack aligned (user, item) arrays into sorted-unique ``uint64`` keys.
+
+    ``key = user << 32 | item`` — a total order on pairs, so membership
+    tests reduce to :func:`np.searchsorted` on one array (the same idiom
+    as the Embedding range check).  Requires ids in ``[0, 2^32)``.
+    """
+    users = np.asarray(users)
+    items = np.asarray(items)
+    if len(users) and (
+        int(users.min()) < 0 or int(users.max()) >= _KEY_LIMIT
+        or int(items.min()) < 0 or int(items.max()) >= _KEY_LIMIT
+    ):
+        raise ValueError("pair ids must be in [0, 2^32) to pack")
+    keys = (users.astype(np.uint64) << np.uint64(32)) \
+        | items.astype(np.uint64)
+    return np.unique(keys)
+
+
+def _packable(pool):
+    pool = np.asarray(pool)
+    if len(pool) == 0:
+        return True
+    if pool.dtype.kind not in "iu":
+        return False
+    return int(pool.min()) >= 0 and int(pool.max()) < _KEY_LIMIT
+
+
+def _clicked_keys(clicked):
+    """Sorted key array for the clicked set, or None to use Python lookup.
+
+    Accepts a pre-packed key array (from :func:`pack_pairs`) or any
+    iterable of ``(user, item)`` tuples; ids outside ``[0, 2^32)`` fall
+    back to the set-based path rather than mis-packing.
+    """
+    if isinstance(clicked, np.ndarray):
+        if clicked.dtype != np.uint64:
+            raise ValueError(
+                "a pre-packed clicked array must be uint64 keys from "
+                "pack_pairs()"
+            )
+        return clicked
+    if not clicked:
+        return np.empty(0, dtype=np.uint64)
+    pairs = np.asarray(sorted(clicked), dtype=np.int64)
+    if int(pairs.min()) < 0 or int(pairs.max()) >= _KEY_LIMIT:
+        return None
+    return pack_pairs(pairs[:, 0], pairs[:, 1])
 
 
 def pos_neg_counts(n_samples, ctr_ratio):
@@ -60,10 +113,27 @@ def sample_negative_pairs(rng, user_pool, item_pool, clicked, n_neg,
                           max_rounds=50):
     """Uniform (user, item) pairs excluding clicked pairs.
 
-    ``clicked`` is a set of ``(user, item)`` tuples.  Rejection sampling is
-    fine here because click sets are sparse relative to the pool product;
-    a guard caps the number of rounds.
+    ``clicked`` is a set of ``(user, item)`` tuples — or, faster, a
+    pre-packed sorted ``uint64`` key array from :func:`pack_pairs`.
+    Rejection sampling is fine here because click sets are sparse
+    relative to the pool product; a guard caps the number of rounds.
+
+    The rejection filter is vectorized: clicked pairs become sorted
+    ``uint64`` keys once and each round's membership test is one
+    ``np.searchsorted`` over the candidates, replacing the per-row
+    Python loop that dominated at large ``n_neg``.  Membership is exact
+    either way and the candidate draws are untouched, so for a given
+    ``rng`` the output is bitwise-identical to the set-based path
+    (pinned by the parity test); ids outside ``[0, 2^32)`` fall back to
+    that path automatically.
     """
+    keys = _clicked_keys(clicked)
+    if keys is not None and not (
+        _packable(user_pool) and _packable(item_pool)
+    ):
+        # Candidate ids must pack without overflow too, or a wrapped key
+        # could falsely collide with a clicked key.
+        keys = None
     users = np.empty(n_neg, dtype=np.int64)
     items = np.empty(n_neg, dtype=np.int64)
     filled = 0
@@ -73,11 +143,21 @@ def sample_negative_pairs(rng, user_pool, item_pool, clicked, n_neg,
             break
         cand_u = rng.choice(user_pool, size=need)
         cand_i = rng.choice(item_pool, size=need)
-        keep = np.fromiter(
-            ((u, i) not in clicked for u, i in zip(cand_u, cand_i)),
-            dtype=bool,
-            count=need,
-        )
+        if keys is None:
+            keep = np.fromiter(
+                ((u, i) not in clicked for u, i in zip(cand_u, cand_i)),
+                dtype=bool,
+                count=need,
+            )
+        elif len(keys) == 0:
+            keep = np.ones(need, dtype=bool)
+        else:
+            cand_keys = (
+                cand_u.astype(np.uint64) << np.uint64(32)
+            ) | cand_i.astype(np.uint64)
+            slots = np.searchsorted(keys, cand_keys)
+            slots[slots == len(keys)] = len(keys) - 1
+            keep = keys[slots] != cand_keys
         kept = int(keep.sum())
         users[filled:filled + kept] = cand_u[keep]
         items[filled:filled + kept] = cand_i[keep]

@@ -32,7 +32,10 @@ class InteractionTable:
 
     @property
     def num_positive(self):
-        return int(self.labels.sum())
+        # Accumulate in float64 regardless of the column's storage dtype:
+        # a float32 running sum goes inexact past 2^24 and would silently
+        # miscount positives on 1e8-row columnar views.
+        return int(self.labels.sum(dtype=np.float64))
 
     @property
     def num_negative(self):
@@ -117,16 +120,42 @@ class MultiDomainDataset:
     """
 
     def __init__(self, name, domains, n_users, n_items,
-                 user_features=None, item_features=None):
+                 user_features=None, item_features=None, store=None):
         self.name = name
         self.domains = list(domains)
         self.n_users = n_users
         self.n_items = n_items
         self.user_features = user_features
         self.item_features = item_features
+        # Optional InteractionStore backend (repro.data.columnar).  When
+        # set, every table is a zero-copy view over the store's columns;
+        # the dataset object is just the domain-structured lens on it.
+        self.store = store
         indices = [d.index for d in self.domains]
         if indices != list(range(len(self.domains))):
             raise ValueError("domain indices must be 0..n-1 in order")
+
+    @property
+    def backend(self):
+        """Storage backend name: ``"legacy"`` or the store's backend."""
+        return self.store.backend if self.store is not None else "legacy"
+
+    def release(self):
+        """Drop resident pages of a memory-mapped backend (else no-op)."""
+        if self.store is not None:
+            self.store.release()
+
+    def close(self):
+        """Close the backing store, invalidating its views (else no-op).
+
+        Drops this dataset's domain tables first (they are views over the
+        store's buffer); if a consumer still holds another view, the
+        store's ``close`` raises ``BufferError`` instead of unmapping
+        memory out from under it.
+        """
+        if self.store is not None:
+            self.domains = []
+            self.store.close()
 
     @property
     def n_domains(self):

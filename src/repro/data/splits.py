@@ -77,17 +77,33 @@ def temporal_split(table, timestamps, holdout_frac=0.25, watermark=None):
         raise ValueError("timestamps must align with the table rows")
     if len(table) == 0:
         raise ValueError("cannot split an empty table")
+    # Columnar stores and stream archives hand us rows already in event
+    # order; detecting that turns the split into two zero-copy slices —
+    # no argsort, no fancy-index gather, no per-row copies.  A stable
+    # sort of an already-sorted array is the identity permutation, so
+    # this fast path is bitwise-identical to the general one.
+    if len(timestamps) <= 1 or bool(np.all(timestamps[:-1] <= timestamps[1:])):
+        ordered_times = timestamps
+        n_train, cutoff = _cut_point(ordered_times, holdout_frac, watermark)
+        train = table.subset(slice(0, n_train))
+        holdout = table.subset(slice(n_train, len(table)))
+        return train, holdout, cutoff
     order = np.argsort(timestamps, kind="stable")
     ordered_times = timestamps[order]
-    if watermark is not None:
-        n_train = int(np.searchsorted(ordered_times, watermark, side="right"))
-        cutoff = watermark
-    else:
-        if not 0.0 < holdout_frac < 1.0:
-            raise ValueError("holdout_frac must be in (0, 1)")
-        n_train = max(1, int(round(len(table) * (1.0 - holdout_frac))))
-        n_train = min(n_train, len(table) - 1) if len(table) > 1 else 1
-        cutoff = ordered_times[n_train - 1]
+    n_train, cutoff = _cut_point(ordered_times, holdout_frac, watermark)
     train = table.subset(order[:n_train])
     holdout = table.subset(order[n_train:])
     return train, holdout, cutoff
+
+
+def _cut_point(ordered_times, holdout_frac, watermark):
+    """(n_train, cutoff_time) for a time-sorted timestamp array."""
+    n = len(ordered_times)
+    if watermark is not None:
+        return int(np.searchsorted(ordered_times, watermark, side="right")), \
+            watermark
+    if not 0.0 < holdout_frac < 1.0:
+        raise ValueError("holdout_frac must be in (0, 1)")
+    n_train = max(1, int(round(n * (1.0 - holdout_frac))))
+    n_train = min(n_train, n - 1) if n > 1 else 1
+    return n_train, ordered_times[n_train - 1]

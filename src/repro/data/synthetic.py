@@ -187,7 +187,10 @@ def _generate_domain(config, spec, index, truth):
         rng, user_pool, item_pool, affinity, n_pos,
         candidates=config.candidates, temperature=config.temperature,
     )
-    clicked = set(zip(pos_users.tolist(), pos_items.tolist()))
+    # Pre-packed sorted keys skip both the Python set construction and
+    # the per-candidate hashing inside negative sampling; the sampled
+    # pairs are bitwise-identical either way.
+    clicked = sampling.pack_pairs(pos_users, pos_items)
     neg_users, neg_items = sampling.sample_negative_pairs(
         rng, user_pool, item_pool, clicked, n_neg
     )

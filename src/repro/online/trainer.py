@@ -214,6 +214,35 @@ class IncrementalTrainer:
         profiling.count("online.events_ingested", n=len(window))
         return counts
 
+    def ingest_archive(self, archive, indices=None, release_every=8):
+        """Replay archived micro-epochs through :meth:`ingest`.
+
+        ``archive`` is a :class:`~repro.online.stream.StreamArchive` (or
+        any stream presenting ``window(i)``); windows are rebuilt as
+        zero-copy column views, and ``per_domain``'s mask-gather copies
+        exactly the rows each buffer keeps — the replay/holdout state
+        owns its memory, so the archive can be released or closed
+        afterwards.  Every ``release_every`` windows the archive's
+        resident pages are returned to the OS, keeping the replay's RSS
+        flat no matter how long the recorded stream is.  Returns
+        ``{window_index: {domain: events}}``.
+        """
+        if indices is None:
+            indices = getattr(
+                archive, "window_indices",
+                range(archive.config.n_windows),
+            )
+        release = getattr(archive, "release", None)
+        counts = {}
+        for position, index in enumerate(indices):
+            counts[int(index)] = self.ingest(archive.window(index))
+            if release is not None and release_every and \
+                    (position + 1) % release_every == 0:
+                release()
+        if release is not None:
+            release()
+        return counts
+
     def window_dataset(self):
         """The current training view: replay buffers + temporal holdouts.
 

@@ -12,6 +12,11 @@ them (stdlib ``ast`` only, no third-party dependencies):
     ``repro/nn/`` or ``repro/serving/`` — the engine is float64
     end-to-end; silent downcasts break the finite-difference gradchecks
     and the serving path's bit-identical parity with offline scoring.
+``row-iteration``
+    No per-row Python iteration over interaction columns
+    (``.users``/``.items``/``.labels``/``.times``) inside ``repro/data/``
+    outside ``io.py`` — row loops defeat the zero-copy columnar data
+    plane at 1e8-row scale.
 ``data-mutation``
     No assignment or in-place mutation of ``<obj>.data`` outside the
     engine-internal files (``nn/optim.py``, ``nn/state.py``,
@@ -232,13 +237,17 @@ class DtypeDriftRule(Rule):
     name = "dtype-drift"
     description = (
         "no float32/float16 astype()/dtype= literals in repro/nn, "
-        "repro/serving, repro/online or repro/traffic — the engine is "
-        "float64 end-to-end, and the bit-identical parity guarantees of "
-        "the serving path, the continual pipeline and the multi-process "
-        "predictor pool all die on any downcast"
+        "repro/serving, repro/online, repro/traffic or the columnar data "
+        "plane — the engine is float64 end-to-end, and the bit-identical "
+        "parity guarantees of the serving path, the continual pipeline "
+        "and the multi-process predictor pool all die on any downcast; "
+        "the columnar storage dtypes are declared once as np.dtype(...) "
+        "constants in repro/data/columnar.py, everything else references "
+        "those"
     )
     scopes = ("repro/nn/", "repro/serving/", "repro/online/",
-              "repro/traffic/")
+              "repro/traffic/", "repro/data/columnar",
+              "repro/data/databench")
 
     _BAD_DOTTED = frozenset({
         "np.float32", "np.float16", "np.single", "np.half",
@@ -277,6 +286,59 @@ class DtypeDriftRule(Rule):
                         path, node,
                         "reduced-precision dtype literal in repro/nn; the "
                         "autodiff engine and its gradchecks are float64",
+                    ))
+        return violations
+
+
+@register
+class RowIterationRule(Rule):
+    name = "row-iteration"
+    description = (
+        "no per-row Python iteration over interaction columns "
+        "(.users/.items/.labels/.times) in repro/data outside io.py — a "
+        "Python loop over a 1e8-row columnar view is a 1000x slowdown "
+        "and defeats the zero-copy data plane; use vectorized numpy ops "
+        "or packed-key membership (io.py's CSV row writer is the one "
+        "sanctioned row loop)"
+    )
+    scopes = ("repro/data/",)
+    allowed_suffixes = ("repro/data/io.py",)
+    _COLUMNS = frozenset({"users", "items", "labels", "times"})
+    #: iteration wrappers whose arguments are still row-wise traversals.
+    _WRAPPERS = frozenset({"zip", "enumerate", "reversed", "iter"})
+
+    def _is_column(self, node):
+        return isinstance(node, ast.Attribute) and node.attr in self._COLUMNS
+
+    def _iterates_columns(self, node):
+        if self._is_column(node):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._WRAPPERS
+        ):
+            return any(self._iterates_columns(arg) for arg in node.args)
+        return False
+
+    def visit(self, path, tree):
+        violations = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters = [generator.iter for generator in node.generators]
+            else:
+                continue
+            for iterable in iters:
+                if self._iterates_columns(iterable):
+                    violations.append(self._violation(
+                        path, node,
+                        "per-row Python iteration over an interaction "
+                        "column; vectorize (numpy reductions, searchsorted "
+                        "membership, slice views) — row loops are only "
+                        "sanctioned in repro/data/io.py",
                     ))
         return violations
 

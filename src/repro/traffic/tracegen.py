@@ -233,11 +233,23 @@ def trace_from_stream(stream, mean_qps, windows=None, seed=0):
     a Poisson process at ``mean_qps`` (seeded exponential gaps).  The
     returned trace therefore puts the serving tier under the exact
     traffic distribution the continual-learning pipeline trained against.
+
+    ``stream`` may be a live :class:`~repro.online.stream.EventStream` or
+    a recorded :class:`~repro.online.stream.StreamArchive` — both expose
+    ``config`` and ``window(i)``, and the arrival RNG is seeded from the
+    config, so a trace built from an archive is byte-identical to one
+    built from the live stream it recorded.  When the archive holds only
+    a subset of windows, the default replays exactly those.
     """
     if mean_qps <= 0:
         raise ValueError("mean_qps must be positive")
     config = stream.config
-    indices = range(config.n_windows) if windows is None else windows
+    if windows is None:
+        indices = getattr(stream, "window_indices", None)
+        if indices is None:
+            indices = range(config.n_windows)
+    else:
+        indices = windows
     users, items, domains = [], [], []
     for index in indices:
         window = stream.window(index)

@@ -89,3 +89,38 @@ def test_single_class_split_rejected(tmp_path):
     path.write_text("\n".join(rows) + "\n")
     with pytest.raises(ValueError):
         load_interactions_csv(path)
+
+
+def test_fractional_labels_survive_round_trip(tmp_path):
+    """Labels are written as ``repr(float(...))`` — graded relevance and
+    propensity-weighted labels must come back bit-exact, not truncated to
+    int (the old writer turned 0.75 into 0)."""
+    import numpy as np
+
+    from repro.data.schema import Domain, InteractionTable, MultiDomainDataset
+
+    def table(labels):
+        labels = np.asarray(labels, dtype=np.float64)
+        n = len(labels)
+        return InteractionTable(
+            np.arange(n, dtype=np.int64),
+            np.arange(n, dtype=np.int64) % 7,
+            labels,
+        )
+
+    labels = [0.75, 0.1, 1.0, 0.0, 1 / 3, 0.9999999999999999]
+    domain = Domain(
+        name="graded", index=0,
+        train=table(labels), val=table(labels[:4]), test=table(labels[:4]),
+    )
+    dataset = MultiDomainDataset("graded-ds", [domain], n_users=10, n_items=7)
+
+    path = tmp_path / "graded.csv"
+    save_interactions_csv(path, dataset)
+    loaded = load_interactions_csv(path)
+
+    for split in ("train", "val", "test"):
+        original = getattr(dataset.domains[0], split)
+        reloaded = getattr(loaded.domains[0], split)
+        assert sorted(zip(original.users, original.items, original.labels)) \
+            == sorted(zip(reloaded.users, reloaded.items, reloaded.labels))

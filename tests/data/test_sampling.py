@@ -81,3 +81,92 @@ def test_negative_sampling_stays_in_pool(seed):
                                            set(), 50)
     assert set(users).issubset(set(users_pool.tolist()))
     assert set(items).issubset(set(items_pool.tolist()))
+
+
+def _set_based_negatives(rng, user_pool, item_pool, clicked, n_neg,
+                         max_rounds=50):
+    """The pre-vectorization rejection loop, kept verbatim as the parity
+    reference for the searchsorted filter."""
+    users = np.empty(n_neg, dtype=np.int64)
+    items = np.empty(n_neg, dtype=np.int64)
+    filled = 0
+    for _ in range(max_rounds):
+        need = n_neg - filled
+        if need == 0:
+            break
+        cand_u = rng.choice(user_pool, size=need)
+        cand_i = rng.choice(item_pool, size=need)
+        keep = np.fromiter(
+            ((u, i) not in clicked for u, i in zip(cand_u, cand_i)),
+            dtype=bool,
+            count=need,
+        )
+        kept = int(keep.sum())
+        users[filled:filled + kept] = cand_u[keep]
+        items[filled:filled + kept] = cand_i[keep]
+        filled += kept
+    if filled < n_neg:
+        raise RuntimeError("reference sampler could not fill the request")
+    return users, items
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_packed_rejection_filter_matches_set_path(seed):
+    """Membership consumes no RNG, so for the same generator state the
+    vectorized searchsorted filter must reproduce the legacy set-based
+    output bit for bit — for both clicked input forms."""
+    pool_rng = np.random.default_rng(seed)
+    users_pool = np.arange(30)
+    items_pool = np.arange(20)
+    clicked = {
+        (int(u), int(i))
+        for u, i in zip(pool_rng.integers(0, 30, 80),
+                        pool_rng.integers(0, 20, 80))
+    }
+    expected = _set_based_negatives(
+        np.random.default_rng(seed), users_pool, items_pool, clicked, 150)
+
+    got_set = S.sample_negative_pairs(
+        np.random.default_rng(seed), users_pool, items_pool, clicked, 150)
+    packed = S.pack_pairs(
+        np.array([u for u, _ in clicked]), np.array([i for _, i in clicked]))
+    got_packed = S.sample_negative_pairs(
+        np.random.default_rng(seed), users_pool, items_pool, packed, 150)
+
+    for got in (got_set, got_packed):
+        assert np.array_equal(got[0], expected[0])
+        assert np.array_equal(got[1], expected[1])
+
+
+def test_pack_pairs_sorted_unique_and_range_checked():
+    keys = S.pack_pairs(np.array([2, 1, 2, 0]), np.array([3, 5, 3, 9]))
+    assert keys.dtype == np.uint64
+    assert np.array_equal(keys, np.unique(keys))          # sorted, deduped
+    assert len(keys) == 3                                 # (2,3) collapsed
+    with pytest.raises(ValueError, match=r"\[0, 2\^32\)"):
+        S.pack_pairs(np.array([-1]), np.array([0]))
+    with pytest.raises(ValueError, match=r"\[0, 2\^32\)"):
+        S.pack_pairs(np.array([1 << 32]), np.array([0]))
+
+
+def test_prepacked_clicked_must_be_uint64():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError, match="uint64"):
+        S.sample_negative_pairs(rng, np.arange(5), np.arange(5),
+                                np.array([1, 2, 3]), 4)
+
+
+def test_oversized_ids_fall_back_to_set_path():
+    """Ids ≥ 2^32 cannot pack into one key; the sampler must silently use
+    the exact set-based filter instead of mis-packing."""
+    big = 1 << 40
+    users_pool = np.array([big, big + 1])
+    items_pool = np.array([0, 1])
+    clicked = {(big, 0), (big, 1)}  # user `big` clicked everything
+    users, items = S.sample_negative_pairs(
+        np.random.default_rng(3), users_pool, items_pool, clicked, 40)
+    assert len(users) == 40
+    assert all((int(u), int(i)) not in clicked
+               for u, i in zip(users, items))
+    assert set(users.tolist()) == {big + 1}

@@ -122,6 +122,80 @@ class TestDtypeDrift:
                 return dense.astype(dtype)
         """, path="src/repro/nn/foo.py") == []
 
+    def test_flags_downcast_in_columnar_data_plane(self):
+        # The columnar store and its bench are in scope: ad-hoc float32
+        # literals outside the sanctioned np.dtype(...) constants are
+        # exactly the silent-downcast drift the rule exists to stop.
+        source = """
+            import numpy as np
+            x = np.zeros(3, dtype=np.float32)
+        """
+        assert rules_fired(
+            source, path="src/repro/data/columnar.py") == ["dtype-drift"]
+        assert rules_fired(
+            source, path="src/repro/data/databench.py") == ["dtype-drift"]
+
+    def test_sanctioned_dtype_constants_clean_in_columnar(self):
+        # The single declaration points: positional np.dtype(np.float32)
+        # (not an astype literal, not a dtype= keyword) stays clean.
+        assert rules_fired("""
+            import numpy as np
+            LABEL_DTYPE = np.dtype(np.float32)
+            x = values.astype(LABEL_DTYPE)
+        """, path="src/repro/data/columnar.py") == []
+
+
+class TestRowIteration:
+    def test_flags_for_loop_over_column(self):
+        assert rules_fired("""
+            def f(table):
+                total = 0
+                for user in table.users:
+                    total += user
+                return total
+        """, path="src/repro/data/foo.py") == ["row-iteration"]
+
+    def test_flags_zip_over_columns(self):
+        assert rules_fired("""
+            def f(table, clicked):
+                return [(u, i) in clicked
+                        for u, i in zip(table.users, table.items)]
+        """, path="src/repro/data/foo.py") == ["row-iteration"]
+
+    def test_flags_enumerate_over_labels(self):
+        assert rules_fired("""
+            def f(table):
+                for row, label in enumerate(table.labels):
+                    print(row, label)
+        """, path="src/repro/data/foo.py") == ["row-iteration"]
+
+    def test_sanctioned_in_io(self):
+        source = """
+            def save(table):
+                for u, i in zip(table.users, table.items):
+                    write(u, i)
+        """
+        assert rules_fired(source, path="src/repro/data/io.py") == []
+
+    def test_out_of_scope_outside_data(self):
+        assert rules_fired("""
+            def f(table):
+                for user in table.users:
+                    print(user)
+        """, path="src/repro/core/foo.py") == []
+
+    def test_clean_vectorized_and_domain_iteration(self):
+        # Vectorized column math and iteration over *domains* (a handful
+        # of objects, not 1e8 rows) are both fine.
+        assert rules_fired("""
+            import numpy as np
+            def f(dataset, table):
+                total = float(table.labels.sum(dtype=np.float64))
+                for domain in dataset.domains:
+                    total += len(domain.train)
+                return total
+        """, path="src/repro/data/foo.py") == []
+
 
 class TestDataMutation:
     def test_flags_augassign_outside_engine(self):

@@ -141,3 +141,25 @@ def test_trace_from_stream_window_subset():
     trace = trace_from_stream(stream, mean_qps=1000.0, windows=(1, 3))
     assert len(trace) == 2 * 60
     assert np.array_equal(trace.users[:60], stream.window(1).users)
+
+
+def test_trace_from_archive_matches_live_stream(tmp_path):
+    """A columnar StreamArchive is a drop-in stream source: the trace
+    built from the recorded file is byte-identical to the live one."""
+    from repro.online.stream import StreamArchive, write_stream
+
+    stream = EventStream(StreamConfig(
+        n_domains=3, n_users=60, n_items=40, n_windows=3,
+        window_events=60, seed=5,
+    ))
+    path = tmp_path / "stream.col"
+    write_stream(path, stream)
+    archive = StreamArchive.open(path)
+
+    live = trace_from_stream(stream, mean_qps=2000.0, seed=9)
+    replayed = trace_from_stream(archive, mean_qps=2000.0, seed=9)
+    assert np.array_equal(live.times, replayed.times)
+    assert np.array_equal(live.users, replayed.users)
+    assert np.array_equal(live.items, replayed.items)
+    assert np.array_equal(live.domains, replayed.domains)
+    archive.close()
